@@ -1,0 +1,113 @@
+// Command benchfig regenerates every table and figure of the paper's
+// evaluation section and prints measured-vs-paper comparisons.
+//
+// Usage:
+//
+//	benchfig                  # everything
+//	benchfig -exp table1      # one experiment
+//	benchfig -exp fig6 -platform Thunder
+//
+// Experiments: table1, fig2, fig6, fig7, fig8, fig9, fig10, fig11, ipc,
+// ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 ipc ablation all)")
+	platform := flag.String("platform", "", "restrict fig6/fig7/ablation to one platform (MareNostrum4 or Thunder)")
+	width := flag.Int("width", 100, "figure-2 timeline width")
+	rows := flag.Int("rows", 24, "figure-2 timeline max rows")
+	flag.Parse()
+
+	if err := run(*exp, *platform, *width, *rows); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, platform string, width, rows int) error {
+	platforms := []string{"MareNostrum4", "Thunder"}
+	if platform != "" {
+		platforms = []string{platform}
+	}
+	all := exp == "all"
+
+	if all || exp == "table1" {
+		res, err := repro.Table1(repro.DefaultTable1Options())
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+	}
+	if all || exp == "fig2" {
+		out, err := repro.Figure2(repro.DefaultTable1Options(), width, rows)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 2 — trace of the respiratory simulation (one node, 96 ranks)")
+		fmt.Println(out)
+	}
+	if all || exp == "fig6" {
+		for _, p := range platforms {
+			f, err := repro.Figure6(p)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Format())
+		}
+	}
+	if all || exp == "fig7" {
+		for _, p := range platforms {
+			f, err := repro.Figure7(p)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Format())
+		}
+	}
+	figs := []struct {
+		name string
+		fn   func() (*repro.FigureResult, error)
+	}{
+		{"fig8", repro.Figure8},
+		{"fig9", repro.Figure9},
+		{"fig10", repro.Figure10},
+		{"fig11", repro.Figure11},
+	}
+	for _, fg := range figs {
+		if all || exp == fg.name {
+			f, err := fg.fn()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Format())
+		}
+	}
+	if all || exp == "ipc" {
+		fmt.Println(repro.IPCReport())
+	}
+	if all || exp == "ablation" {
+		for _, p := range platforms {
+			f, err := repro.MultidepKeyingAblation(p)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Format())
+		}
+	}
+	if !all {
+		switch exp {
+		case "table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ipc", "ablation":
+		default:
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Command traceview renders the Paraver-style timeline of a quick
+// respiratory run — the reproduction's stand-in for opening an Extrae
+// trace in Paraver (the paper's Figure 2 workflow).
+//
+// Usage:
+//
+//	traceview [-ranks N] [-steps N] [-particles N] [-width N] [-rows N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 32, "MPI ranks")
+	steps := flag.Int("steps", 2, "time steps")
+	particles := flag.Int("particles", 5000, "particles injected")
+	width := flag.Int("width", 110, "timeline width (chars)")
+	rows := flag.Int("rows", 32, "max rank rows shown")
+	flag.Parse()
+
+	opts := repro.DefaultTable1Options()
+	opts.Ranks = *ranks
+	opts.Steps = *steps
+	opts.Particles = *particles
+	opts.MeshGen = 3
+
+	out, err := repro.Figure2(opts, *width, *rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

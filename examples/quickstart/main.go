@@ -1,0 +1,27 @@
+// Quickstart: generate a human-airway mesh, run a small distributed CFPD
+// simulation (fluid + particles) on simulated MPI ranks, and print the
+// outcome. This is the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultSimulationConfig()
+	cfg.Run.FluidRanks = 4
+	cfg.Run.Steps = 3
+	cfg.Run.NumParticles = 1000
+
+	res, err := repro.RunSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("respiratory CFPD quickstart")
+	fmt.Print(res.Summary())
+	fmt.Println("\nphase timeline:")
+	fmt.Print(res.Result.Trace.Render(90, 8))
+}

@@ -1,0 +1,350 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/coupling"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/navierstokes"
+	"repro/internal/perfmodel"
+	"repro/internal/tasking"
+	"repro/internal/trace"
+)
+
+// Table1Result is the reproduction of the paper's Table 1 plus the trace
+// behind it (which also renders Figure 2).
+type Table1Result struct {
+	Rows  []metrics.PhaseRow
+	Paper []metrics.PhaseRow
+	Trace *trace.Trace
+	Ranks int
+}
+
+// Table1Options sizes the real run behind Table 1 / Figure 2.
+type Table1Options struct {
+	Ranks     int // paper: 96 (one Thunder node)
+	Steps     int
+	Particles int
+	MeshGen   int
+}
+
+// DefaultTable1Options returns the default scaled-down configuration: the
+// paper's 96 ranks on one node, a generation-4 airway, and enough
+// particles to exhibit the injection pathology.
+func DefaultTable1Options() Table1Options {
+	return Table1Options{Ranks: 96, Steps: 2, Particles: 20000, MeshGen: 4}
+}
+
+// Table1 runs the real synchronous simulation at the paper's rank count
+// and measures per-phase load balance Ln (eq. 9) and time shares.
+//
+// The Ln column and the phase structure are measured from the real work
+// distribution of this reproduction (partition cost imbalance, particle
+// concentration at the inlet). The absolute per-phase kernel speeds of
+// the paper's machines are not observable here, so the cost-model units
+// are first calibrated with a probe run such that a pure-MPI step
+// reproduces the paper's assembly/solver/SGS/particle magnitudes, and
+// the final run is then measured under those units. Ln is independent of
+// the units. See EXPERIMENTS.md.
+func Table1(opts Table1Options) (*Table1Result, error) {
+	mc := mesh.DefaultAirwayConfig()
+	mc.Generations = opts.MeshGen
+	mc.NTheta = 10
+	mc.NAxial = 6
+
+	rc := coupling.DefaultRunConfig()
+	rc.Mode = coupling.Synchronous
+	rc.FluidRanks = opts.Ranks
+	rc.ParticleRanks = 0
+	rc.Steps = opts.Steps
+	rc.NumParticles = opts.Particles
+	rc.RanksPerNode = opts.Ranks            // one node, as in the paper's trace
+	rc.NS.Strategy = tasking.StrategySerial // per-rank threading off: pure MPI
+	rc.NS.SGSStrategy = tasking.StrategySerial
+	rc.NS.TolMomentum = 1e-6
+	rc.NS.TolPressure = 1e-6
+	rc.WorkersPerRank = 1
+
+	m, err := mesh.GenerateAirway(mc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Probe run under unit costs to observe raw per-phase maxima (same
+	// step count as the final run: solver iteration counts evolve as the
+	// flow develops).
+	probe := rc
+	probe.Cost = navierstokes.CostModel{AssemblyUnit: 1, SolverUnit: 1, SGSUnit: 1}
+	probe.ParticleUnit = 1
+	pres, err := coupling.Run(m, probe)
+	if err != nil {
+		return nil, err
+	}
+	rawMax := func(p trace.Phase) float64 {
+		max := 0.0
+		for _, v := range pres.Trace.PhaseTimes()[p] {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	maxA := rawMax(trace.PhaseAssembly)
+	unit := func(share float64, raw float64) float64 {
+		if raw == 0 {
+			return 1
+		}
+		return share / PaperTable1[0].Percent * maxA / raw
+	}
+	// Calibrated units: assembly is the reference; each remaining phase
+	// gets its own per-unit cost (the paper's machines fix the absolute
+	// kernel speeds; this reproduction can only measure distributions).
+	rc.Cost = navierstokes.CostModel{
+		AssemblyUnit: 1,
+		SolverUnit:   unit(PaperTable1[1].Percent, rawMax(trace.PhaseSolver1)),
+		Solver2Unit:  unit(PaperTable1[2].Percent, rawMax(trace.PhaseSolver2)),
+		SGSUnit:      unit(PaperTable1[3].Percent, rawMax(trace.PhaseSGS)),
+	}
+	rc.ParticleUnit = unit(PaperTable1[4].Percent, rawMax(trace.PhaseParticles))
+
+	// Measured run.
+	res, err := coupling.Run(m, rc)
+	if err != nil {
+		return nil, err
+	}
+	phaseTimes := res.Trace.PhaseTimes()
+	perPhase := make([][]float64, len(phaseOrder))
+	for i, p := range phaseOrder {
+		perPhase[i] = phaseTimes[p]
+	}
+	rows := metrics.PhaseTable(PhaseNames, perPhase)
+	// Express shares over the paper's accounted fraction (its remaining
+	// ~14% is communication and unlabeled code).
+	accounted := 0.0
+	for _, r := range PaperTable1 {
+		accounted += r.Percent
+	}
+	for i := range rows {
+		rows[i].Percent *= accounted / 100
+	}
+	return &Table1Result{Rows: rows, Paper: PaperTable1, Trace: res.Trace, Ranks: opts.Ranks}, nil
+}
+
+// Format renders measured-vs-paper Table 1.
+func (t *Table1Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1 — load balance and time share per phase (%d MPI ranks)\n", t.Ranks)
+	fmt.Fprintf(&sb, "%-18s %10s %10s %12s %12s\n", "Phase", "Ln meas", "Ln paper", "%T meas", "%T paper")
+	for i, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-18s %10.2f %10.2f %11.2f%% %11.2f%%\n",
+			r.Name, r.Ln, t.Paper[i].Ln, r.Percent, t.Paper[i].Percent)
+	}
+	return sb.String()
+}
+
+// Figure2 renders the Paraver-style timeline of the Table 1 run.
+func Figure2(opts Table1Options, width, maxRows int) (string, error) {
+	t, err := Table1(opts)
+	if err != nil {
+		return "", err
+	}
+	return t.Trace.Render(width, maxRows), nil
+}
+
+// --- modeled figures ---
+
+var (
+	workloadOnce sync.Once
+	workloadInst *perfmodel.Workload
+	workloadErr  error
+)
+
+// sharedWorkload builds the figure workload mesh once per process.
+func sharedWorkload() (*perfmodel.Workload, error) {
+	workloadOnce.Do(func() {
+		workloadInst, workloadErr = perfmodel.NewWorkload(perfmodel.DefaultWorkloadMesh())
+	})
+	return workloadInst, workloadErr
+}
+
+// FigureResult is a modeled figure: named series over labeled points.
+type FigureResult struct {
+	ID     string
+	Title  string
+	Unit   string
+	Series []metrics.Series
+	Notes  []string
+}
+
+// Format renders the figure as a text bar chart.
+func (f *FigureResult) Format() string {
+	out := metrics.FormatBarChart(fmt.Sprintf("%s — %s", f.ID, f.Title), f.Unit, f.Series, 0)
+	for _, n := range f.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+func platformByName(name string) (arch.Profile, error) {
+	for _, p := range arch.Platforms() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return arch.Profile{}, fmt.Errorf("repro: unknown platform %q", name)
+}
+
+// Figure6 models the hybrid assembly speedups for one platform
+// ("MareNostrum4" or "Thunder").
+func Figure6(platform string) (*FigureResult, error) {
+	p, err := platformByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sharedWorkload()
+	if err != nil {
+		return nil, err
+	}
+	series, err := perfmodel.AssemblySpeedups(p, w, tasking.KeyNeighbors)
+	if err != nil {
+		return nil, err
+	}
+	f := &FigureResult{
+		ID:    "Figure 6 (" + p.Name + ")",
+		Title: "speedup of hybrid matrix assembly wrt the MPI-only code",
+		Unit:  "x",
+	}
+	for _, s := range series {
+		f.Series = append(f.Series, metrics.Series{
+			Name: s.Strategy.String(), Labels: s.Labels, Values: s.Speedups,
+		})
+	}
+	return f, nil
+}
+
+// Figure7 models the hybrid SGS speedups for one platform.
+func Figure7(platform string) (*FigureResult, error) {
+	p, err := platformByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sharedWorkload()
+	if err != nil {
+		return nil, err
+	}
+	series, err := perfmodel.SGSSpeedups(p, w)
+	if err != nil {
+		return nil, err
+	}
+	f := &FigureResult{
+		ID:    "Figure 7 (" + p.Name + ")",
+		Title: "speedup of hybrid SGS wrt the MPI-only code",
+		Unit:  "x",
+	}
+	for _, s := range series {
+		f.Series = append(f.Series, metrics.Series{
+			Name: s.Strategy.String(), Labels: s.Labels, Values: s.Speedups,
+		})
+	}
+	f.Notes = append(f.Notes, "the SGS phase updates no shared structure: the 'Atomics' version executes no atomic operations")
+	return f, nil
+}
+
+// dlbFigure models one of Figures 8-11.
+func dlbFigure(id, platform string, particles float64) (*FigureResult, error) {
+	p, err := platformByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sharedWorkload()
+	if err != nil {
+		return nil, err
+	}
+	res, err := perfmodel.DLBScenario(p, w, particles)
+	if err != nil {
+		return nil, err
+	}
+	orig := metrics.Series{Name: "Original"}
+	withDLB := metrics.Series{Name: "DLB"}
+	for _, r := range res {
+		orig.Labels = append(orig.Labels, r.Label)
+		orig.Values = append(orig.Values, r.Original)
+		withDLB.Labels = append(withDLB.Labels, r.Label)
+		withDLB.Values = append(withDLB.Values, r.DLB)
+	}
+	return &FigureResult{
+		ID:     id,
+		Title:  fmt.Sprintf("simulation of %.0g particles on %s (time per step, work units)", particles, p.Name),
+		Unit:   "wu",
+		Series: []metrics.Series{orig, withDLB},
+	}, nil
+}
+
+// Figure8 models the 4e5-particle DLB experiment on MareNostrum4.
+func Figure8() (*FigureResult, error) { return dlbFigure("Figure 8", "MareNostrum4", 4e5) }
+
+// Figure9 models the 4e5-particle DLB experiment on Thunder.
+func Figure9() (*FigureResult, error) { return dlbFigure("Figure 9", "Thunder", 4e5) }
+
+// Figure10 models the 7e6-particle DLB experiment on MareNostrum4.
+func Figure10() (*FigureResult, error) { return dlbFigure("Figure 10", "MareNostrum4", 7e6) }
+
+// Figure11 models the 7e6-particle DLB experiment on Thunder.
+func Figure11() (*FigureResult, error) { return dlbFigure("Figure 11", "Thunder", 7e6) }
+
+// IPCReport reproduces the Section 4.3 IPC discussion for both platforms.
+func IPCReport() string {
+	var sb strings.Builder
+	sb.WriteString("Assembly-phase IPC (Section 4.3): paper-measured values drive the model\n")
+	for _, p := range arch.Platforms() {
+		fmt.Fprintf(&sb, "  %s:\n", p.Name)
+		for _, pt := range perfmodel.ModeledIPC(p) {
+			fmt.Fprintf(&sb, "    %-10s %5.2f\n", pt.Strategy, pt.IPC)
+		}
+	}
+	sb.WriteString("  paper: MN4 2.25 -> 1.15 under atomics (-49%); Thunder 0.49 -> 0.42 (-14%);\n")
+	sb.WriteString("  multidep IPC is 94-96% of MPI-only on both machines.\n")
+	return sb.String()
+}
+
+// MultidepKeyingAblation compares the paper's neighbor-list mutexinoutset
+// keying against exact edge keying on the assembly phase (a design choice
+// DESIGN.md calls out: neighbor keys over-serialize distance-2 subdomain
+// pairs).
+func MultidepKeyingAblation(platform string) (*FigureResult, error) {
+	p, err := platformByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sharedWorkload()
+	if err != nil {
+		return nil, err
+	}
+	f := &FigureResult{
+		ID:    "Ablation (" + p.Name + ")",
+		Title: "multidependences keying: neighbor keys (paper) vs exact edge keys",
+		Unit:  "x",
+	}
+	for _, keying := range []tasking.MutexKeying{tasking.KeyNeighbors, tasking.KeyEdges} {
+		series, err := perfmodel.AssemblySpeedups(p, w, keying)
+		if err != nil {
+			return nil, err
+		}
+		name := "neighbor keys"
+		if keying == tasking.KeyEdges {
+			name = "edge keys"
+		}
+		for _, s := range series {
+			if s.Strategy == tasking.StrategyMultidep {
+				f.Series = append(f.Series, metrics.Series{
+					Name: name, Labels: s.Labels, Values: s.Speedups,
+				})
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,67 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfilesMatchPaperHardware(t *testing.T) {
+	mn := MareNostrum4()
+	// 2x Intel Xeon Platinum 8160: 2 sockets x 24 cores = 48/node,
+	// 2.1 GHz; the paper uses two nodes = 96 cores.
+	if mn.CoresPerNode != 48 || mn.Nodes != 2 || mn.TotalCores() != 96 {
+		t.Fatalf("MN4 topology: %+v", mn)
+	}
+	if mn.FreqGHz != 2.1 || !mn.OutOfOrder {
+		t.Fatal("MN4 core parameters")
+	}
+	th := ThunderX()
+	// 2x Cavium ThunderX CN8890: 48 Armv8 cores each = 96/node, 1.8 GHz;
+	// two nodes = 192 cores.
+	if th.CoresPerNode != 96 || th.TotalCores() != 192 {
+		t.Fatalf("Thunder topology: %+v", th)
+	}
+	if th.FreqGHz != 1.8 || th.OutOfOrder {
+		t.Fatal("Thunder core parameters")
+	}
+}
+
+func TestCalibrationIdentities(t *testing.T) {
+	mn := MareNostrum4()
+	// Paper Section 4.3: IPC 2.25 -> 1.15 is a 49% reduction.
+	if red := 1 - mn.AtomicIPC/mn.BaseIPC; math.Abs(red-0.49) > 0.02 {
+		t.Fatalf("MN4 atomic IPC reduction %.3f, paper ~0.50", red)
+	}
+	th := ThunderX()
+	// Thunder: 0.49 -> 0.42 is a 14% reduction.
+	if red := 1 - th.AtomicIPC/th.BaseIPC; math.Abs(red-0.14) > 0.02 {
+		t.Fatalf("Thunder atomic IPC reduction %.3f, paper ~0.14", red)
+	}
+	for _, p := range Platforms() {
+		if p.MultidepIPCFraction < 0.94 || p.MultidepIPCFraction > 0.96 {
+			t.Fatalf("%s multidep IPC fraction %.3f outside paper's 94-96%%",
+				p.Name, p.MultidepIPCFraction)
+		}
+		if p.AtomicFactor() <= 1 || p.MultidepFactor() <= 1 {
+			t.Fatalf("%s: cost factors must exceed 1", p.Name)
+		}
+		// SGS-phase overheads below 10% (paper Figure 7).
+		if p.ElementLocalOverheadColoring > 1.10 || p.ElementLocalOverheadMultidep > 1.10 {
+			t.Fatalf("%s: element-local overheads exceed the paper's 10%%", p.Name)
+		}
+	}
+}
+
+func TestArchDependentOrdering(t *testing.T) {
+	mn, th := MareNostrum4(), ThunderX()
+	// The atomics penalty must be much larger on the out-of-order Intel
+	// machine — the paper's central architectural observation.
+	if mn.AtomicFactor() <= th.AtomicFactor() {
+		t.Fatalf("atomic penalty MN4 %.2f should exceed Thunder %.2f",
+			mn.AtomicFactor(), th.AtomicFactor())
+	}
+	// Coloring's locality loss also costs more on the deep OoO pipeline.
+	if mn.ColoringLocalityFactor <= th.ColoringLocalityFactor {
+		t.Fatal("coloring locality penalty should be larger on MN4")
+	}
+}

@@ -1,0 +1,176 @@
+// Package core assembles the paper's two contributions — the
+// multidependences task strategies and the DLB load-balancing library —
+// into one runtime layer an application plugs in without touching its
+// numerical code:
+//
+//   - BuildPlan turns a rank's mesh into the parallelization plan of the
+//     chosen strategy (Atomics / Coloring / Multidependences), including
+//     the Metis-style sub-partition and the mutexinoutset dependence
+//     construction for multidependences;
+//   - Runtime owns the per-rank worker pools and the DLB instance, and
+//     exposes the PMPI hook surface that a simmpi.World installs, so
+//     core lending happens transparently to the application.
+//
+// This is the "system software" boundary the paper argues for: the
+// application (package navierstokes, package coupling) states what to
+// compute; how the element loops are parallelized and how cores move
+// between processes is decided here.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dlb"
+	"repro/internal/fem"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/tasking"
+)
+
+// Options selects the runtime techniques for a run.
+type Options struct {
+	// Strategy parallelizes scattered-reduction element loops.
+	Strategy tasking.Strategy
+	// Keying selects the mutexinoutset key construction for
+	// StrategyMultidep.
+	Keying tasking.MutexKeying
+	// SubdomainsPerRank is the multidep task count per rank
+	// (0 = 4 per worker).
+	SubdomainsPerRank int
+	// WorkersPerRank is each process's owned core count.
+	WorkersPerRank int
+	// NodeCores caps a pool's size (what DLB can grow it to);
+	// 0 = WorkersPerRank (no headroom, lending cannot help).
+	NodeCores int
+	// EnableDLB turns on lend-when-idle.
+	EnableDLB bool
+}
+
+// DefaultOptions returns the paper's best configuration: multidependences
+// with neighbor keying and DLB enabled.
+func DefaultOptions() Options {
+	return Options{
+		Strategy:       tasking.StrategyMultidep,
+		Keying:         tasking.KeyNeighbors,
+		WorkersPerRank: 1,
+		EnableDLB:      true,
+	}
+}
+
+// BuildPlan constructs the assembly plan for one rank's elements under a
+// strategy. workers sizes the default multidep task count.
+func BuildPlan(rm *partition.RankMesh, opts Options, workers int) (*tasking.AssemblyPlan, error) {
+	ne := rm.NumElems()
+	switch opts.Strategy {
+	case tasking.StrategySerial:
+		return tasking.NewSerialPlan(ne), nil
+	case tasking.StrategyAtomic:
+		return tasking.NewAtomicPlan(ne), nil
+	case tasking.StrategyColoring:
+		return tasking.NewColoringPlan(LocalConflicts(rm)), nil
+	case tasking.StrategyMultidep:
+		nsub := opts.SubdomainsPerRank
+		if nsub <= 0 {
+			nsub = 4 * workers
+		}
+		if nsub > ne {
+			nsub = ne
+		}
+		if nsub < 1 {
+			nsub = 1
+		}
+		weights := make([]float64, ne)
+		for e := 0; e < ne; e++ {
+			weights[e] = fem.CostWeight(rm.Kinds[e])
+		}
+		labels, adj, err := partition.SubPartition(rm, weights, nsub)
+		if err != nil {
+			return nil, err
+		}
+		return tasking.NewMultidepPlan(labels, adj, opts.Keying), nil
+	}
+	return nil, fmt.Errorf("core: unsupported strategy %v", opts.Strategy)
+}
+
+// LocalConflicts builds a rank's element conflict graph: two elements
+// conflict iff they share a local node (they may write the same matrix
+// rows).
+func LocalConflicts(rm *partition.RankMesh) *graph.CSR {
+	n2e := make([][]int32, rm.NumLocalNodes())
+	for e := 0; e < rm.NumElems(); e++ {
+		for _, nd := range rm.ElemNodesLocal(e) {
+			n2e[nd] = append(n2e[nd], int32(e))
+		}
+	}
+	lists := make([][]int32, rm.NumElems())
+	for _, elems := range n2e {
+		for _, e := range elems {
+			for _, f := range elems {
+				if e != f {
+					lists[e] = append(lists[e], f)
+				}
+			}
+		}
+	}
+	return graph.FromAdjacency(lists)
+}
+
+// Runtime owns the shared-memory runtime of one world: per-rank pools and
+// the DLB instance. It is safe for use from rank goroutines.
+type Runtime struct {
+	opts  Options
+	dlb   *dlb.DLB
+	mu    sync.Mutex
+	pools map[int]*tasking.Pool
+}
+
+// NewRuntime creates the runtime for a world.
+func NewRuntime(opts Options) *Runtime {
+	if opts.WorkersPerRank < 1 {
+		opts.WorkersPerRank = 1
+	}
+	if opts.NodeCores < opts.WorkersPerRank {
+		opts.NodeCores = opts.WorkersPerRank
+	}
+	return &Runtime{
+		opts:  opts,
+		dlb:   dlb.New(opts.EnableDLB),
+		pools: make(map[int]*tasking.Pool),
+	}
+}
+
+// Hooks exposes the PMPI blocking hooks to install on the world
+// (simmpi.WithBlockingHooks(rt.Hooks())).
+func (rt *Runtime) Hooks() *dlb.DLB { return rt.dlb }
+
+// PoolFor returns (creating and DLB-registering on first use) the worker
+// pool of a rank living on the given node.
+func (rt *Runtime) PoolFor(rank, node int) (*tasking.Pool, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if p, ok := rt.pools[rank]; ok {
+		return p, nil
+	}
+	p := tasking.NewPool(rt.opts.NodeCores)
+	p.SetWorkers(rt.opts.WorkersPerRank)
+	if err := rt.dlb.Register(rank, node, p, rt.opts.WorkersPerRank); err != nil {
+		p.Close()
+		return nil, err
+	}
+	rt.pools[rank] = p
+	return p, nil
+}
+
+// Stats reports DLB activity so far.
+func (rt *Runtime) Stats() dlb.Stats { return rt.dlb.Snapshot() }
+
+// Close shuts every pool down; call after the world finished.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, p := range rt.pools {
+		p.Close()
+	}
+	rt.pools = map[int]*tasking.Pool{}
+}

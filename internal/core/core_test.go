@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/partition"
+	"repro/internal/tasking"
+)
+
+func testRankMesh(t testing.TB) *partition.RankMesh {
+	t.Helper()
+	cfg := mesh.DefaultAirwayConfig()
+	cfg.Generations = 1
+	cfg.NTheta = 8
+	cfg.NAxial = 4
+	m, err := mesh.GenerateAirway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.KWay(m.DualByNode(), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := partition.BuildRankMeshes(m, p.Parts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rms[0]
+}
+
+func TestBuildPlanAllStrategies(t *testing.T) {
+	rm := testRankMesh(t)
+	for _, strat := range []tasking.Strategy{
+		tasking.StrategySerial, tasking.StrategyAtomic,
+		tasking.StrategyColoring, tasking.StrategyMultidep,
+	} {
+		plan, err := BuildPlan(rm, Options{Strategy: strat, Keying: tasking.KeyNeighbors}, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if plan.Strategy != strat || plan.NumElems != rm.NumElems() {
+			t.Fatalf("%v: wrong plan shape", strat)
+		}
+	}
+	if _, err := BuildPlan(rm, Options{Strategy: tasking.Strategy(99)}, 2); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+}
+
+func TestBuildPlanMultidepTaskCount(t *testing.T) {
+	rm := testRankMesh(t)
+	plan, err := BuildPlan(rm, Options{
+		Strategy:          tasking.StrategyMultidep,
+		SubdomainsPerRank: 6,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumSub != 6 {
+		t.Fatalf("got %d subdomains, want 6", plan.NumSub)
+	}
+	// Default sizing: 4 per worker.
+	plan, err = BuildPlan(rm, Options{Strategy: tasking.StrategyMultidep}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumSub != 12 {
+		t.Fatalf("default task count %d, want 12", plan.NumSub)
+	}
+}
+
+func TestLocalConflictsMatchesSharedNodes(t *testing.T) {
+	rm := testRankMesh(t)
+	g := LocalConflicts(rm)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	share := func(e, f int) bool {
+		for _, a := range rm.ElemNodesLocal(e) {
+			for _, b := range rm.ElemNodesLocal(f) {
+				if a == b {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	step := rm.NumElems()/30 + 1
+	for e := 0; e < rm.NumElems(); e += step {
+		for f := 0; f < rm.NumElems(); f += step * 2 {
+			if e == f {
+				continue
+			}
+			if g.HasEdge(e, f) != share(e, f) {
+				t.Fatalf("conflict(%d,%d)=%v, share=%v", e, f, g.HasEdge(e, f), share(e, f))
+			}
+		}
+	}
+}
+
+func TestRuntimePoolsAndDLB(t *testing.T) {
+	rt := NewRuntime(Options{
+		Strategy:       tasking.StrategyMultidep,
+		WorkersPerRank: 2,
+		NodeCores:      4,
+		EnableDLB:      true,
+	})
+	defer rt.Close()
+
+	p0, err := rt.PoolFor(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := rt.PoolFor(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 == p1 {
+		t.Fatal("ranks must get distinct pools")
+	}
+	// Idempotent per rank.
+	p0b, err := rt.PoolFor(0, 0)
+	if err != nil || p0b != p0 {
+		t.Fatal("PoolFor must cache per rank")
+	}
+	if p0.Workers() != 2 || p0.MaxWorkers() != 4 {
+		t.Fatalf("pool sizing: %d/%d", p0.Workers(), p0.MaxWorkers())
+	}
+	// DLB drives the pools through the hooks.
+	rt.Hooks().IntoBlockingCall(0)
+	if p1.Workers() != 4 {
+		t.Fatalf("lend failed: rank 1 has %d workers", p1.Workers())
+	}
+	rt.Hooks().OutOfBlockingCall(0)
+	if p1.Workers() != 2 {
+		t.Fatal("reclaim failed")
+	}
+	s := rt.Stats()
+	if s.Lends != 1 || s.Reclaims != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestRuntimeDefaults(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.Strategy != tasking.StrategyMultidep || !opts.EnableDLB {
+		t.Fatal("defaults must be the paper's best configuration")
+	}
+	rt := NewRuntime(Options{}) // zero options must be usable
+	defer rt.Close()
+	p, err := rt.PoolFor(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("zero-options pool has %d workers", p.Workers())
+	}
+}

@@ -1,0 +1,415 @@
+// Package coupling orchestrates the two execution modes of the paper's
+// Figure 3:
+//
+//   - Synchronous: every MPI rank solves the fluid and then transports
+//     the particles of its own subdomain, each time step.
+//   - Coupled: two Alya instances share the MPI world — f ranks solve the
+//     fluid, p ranks transport particles — and the fluid code sends the
+//     velocity field to the particle code every step.
+//
+// The user-chosen split f+p is exactly the decision the paper shows can
+// cost 2x when wrong and that DLB makes irrelevant. This package builds
+// both modes on real components (simmpi ranks, tasking pools, the
+// Navier-Stokes solver, the particle tracker, DLB hooks) and produces
+// both wall-clock measurements and deterministic virtual-time traces.
+package coupling
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dlb"
+	"repro/internal/mesh"
+	"repro/internal/navierstokes"
+	"repro/internal/particles"
+	"repro/internal/partition"
+	"repro/internal/simmpi"
+	"repro/internal/tasking"
+	"repro/internal/trace"
+)
+
+// Mode selects the execution mode.
+type Mode uint8
+
+// Execution modes (Figure 3).
+const (
+	Synchronous Mode = iota
+	Coupled
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Coupled {
+		return "coupled"
+	}
+	return "synchronous"
+}
+
+// Reserved tag ranges (simmpi tags are per (source, tag); the solver's
+// rolling halo tags stay far below these).
+const (
+	tagVelocity = 1 << 29
+	tagMigrate  = 1 << 30
+)
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	Mode Mode
+	// FluidRanks and ParticleRanks split the world in Coupled mode
+	// (f + p); in Synchronous mode FluidRanks is the world size and
+	// ParticleRanks must be 0.
+	FluidRanks    int
+	ParticleRanks int
+
+	Steps        int
+	NumParticles int
+	Species      particles.Props
+	Fluid        particles.FluidProps
+
+	NS   navierstokes.Config
+	Cost navierstokes.CostModel
+	// ParticleUnit is the virtual cost of advancing one particle one step.
+	ParticleUnit float64
+	// TransferUnit is the virtual cost of one fluid->particle velocity
+	// shipment (per node shipped).
+	TransferUnit float64
+
+	RanksPerNode   int
+	WorkersPerRank int
+	UseDLB         bool
+	Seed           int64
+}
+
+// DefaultRunConfig returns a small synchronous run.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Mode:           Synchronous,
+		FluidRanks:     4,
+		Steps:          3,
+		NumParticles:   500,
+		Species:        particles.Props{Diameter: 10e-6, Density: 1000},
+		Fluid:          particles.AirAt20C(),
+		NS:             navierstokes.DefaultConfig(),
+		Cost:           navierstokes.DefaultCostModel(),
+		ParticleUnit:   0.02,
+		TransferUnit:   0.001,
+		RanksPerNode:   48,
+		WorkersPerRank: 1,
+		UseDLB:         false,
+		Seed:           1,
+	}
+}
+
+// RunResult aggregates one run.
+type RunResult struct {
+	Trace    *trace.Trace
+	Makespan float64 // virtual time of the slowest rank
+	Wall     time.Duration
+
+	Injected  int
+	Deposited int
+	Exited    int
+	ActiveEnd int
+
+	DLB dlb.Stats
+}
+
+// Run executes the configured simulation on mesh m.
+func Run(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
+	if cfg.Mode == Synchronous && cfg.ParticleRanks != 0 {
+		return nil, fmt.Errorf("coupling: synchronous mode takes no particle ranks")
+	}
+	if cfg.Mode == Coupled && (cfg.FluidRanks < 1 || cfg.ParticleRanks < 1) {
+		return nil, fmt.Errorf("coupling: coupled mode needs f >= 1 and p >= 1")
+	}
+	if cfg.FluidRanks < 1 || cfg.Steps < 1 {
+		return nil, fmt.Errorf("coupling: need at least one fluid rank and one step")
+	}
+	if cfg.WorkersPerRank < 1 {
+		cfg.WorkersPerRank = 1
+	}
+	switch cfg.Mode {
+	case Synchronous:
+		return runSynchronous(m, cfg)
+	case Coupled:
+		return runCoupled(m, cfg)
+	}
+	return nil, fmt.Errorf("coupling: unknown mode %d", cfg.Mode)
+}
+
+// buildPartition partitions m into k rank meshes with cost weights.
+func buildPartition(m *mesh.Mesh, k int) ([]*partition.RankMesh, error) {
+	dual := m.DualByNode()
+	p, err := partition.KWay(dual, nil, k)
+	if err != nil {
+		return nil, err
+	}
+	return partition.BuildRankMeshes(m, p.Parts, k)
+}
+
+// haloPeers extracts the neighbor comm-ranks of a rank mesh.
+func haloPeers(rm *partition.RankMesh) []int {
+	peers := make([]int, 0, len(rm.Halos))
+	for _, h := range rm.Halos {
+		peers = append(peers, h.Peer)
+	}
+	return peers
+}
+
+// newWorld builds the world plus DLB and per-rank pools.
+func newWorld(cfg RunConfig, size int) (*simmpi.World, *dlb.DLB, []*tasking.Pool, error) {
+	d := dlb.New(cfg.UseDLB)
+	rpn := cfg.RanksPerNode
+	if rpn <= 0 {
+		rpn = size
+	}
+	world, err := simmpi.NewWorld(size, simmpi.WithRanksPerNode(rpn), simmpi.WithBlockingHooks(d))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pools := make([]*tasking.Pool, size)
+	nodeCores := rpn * cfg.WorkersPerRank
+	for r := 0; r < size; r++ {
+		pools[r] = tasking.NewPool(nodeCores)
+		pools[r].SetWorkers(cfg.WorkersPerRank)
+		if err := d.Register(r, world.NodeOf(r), pools[r], cfg.WorkersPerRank); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return world, d, pools, nil
+}
+
+func closePools(pools []*tasking.Pool) {
+	for _, p := range pools {
+		p.Close()
+	}
+}
+
+// runSynchronous: all ranks do fluid then particles (Figure 3, top).
+func runSynchronous(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
+	n := cfg.FluidRanks
+	rms, err := buildPartition(m, n)
+	if err != nil {
+		return nil, err
+	}
+	world, d, pools, err := newWorld(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	defer closePools(pools)
+
+	tr := trace.NewTrace(n)
+	res := &RunResult{Trace: tr}
+	injected := make([]int, n)
+	deposited := make([]int, n)
+	exited := make([]int, n)
+	activeEnd := make([]int, n)
+
+	start := time.Now()
+	err = world.Run(func(r *simmpi.Rank) {
+		id := r.ID()
+		ns, err := navierstokes.NewSolver(m, rms[id], r.Comm, pools[id], cfg.NS, cfg.Cost, tr.Ranks[id])
+		if err != nil {
+			panic(err)
+		}
+		tk := particles.NewTracker(m, rms[id].Elems, cfg.Species, cfg.Fluid)
+		peers := haloPeers(rms[id])
+
+		for step := 0; step < cfg.Steps; step++ {
+			if _, err := ns.Step(); err != nil {
+				panic(err)
+			}
+			if step == 0 {
+				injected[id] = particles.InjectAtInletCollective(r.Comm, tk, cfg.NumParticles, cfg.Seed, cfg.NS.InletVelocity)
+			}
+			w0 := tk.WorkUnits
+			tk.Step(cfg.NS.Props.Dt, ns.VelocityAt)
+			particles.Migrate(r.Comm, tk, peers, tagMigrate)
+			tr.Ranks[id].Advance(trace.PhaseParticles, float64(tk.WorkUnits-w0)*cfg.ParticleUnit)
+			maxClock := r.Comm.AllreduceFloat64(tr.Ranks[id].Clock(), simmpi.OpMax)
+			tr.Ranks[id].AlignTo(maxClock)
+		}
+		a, dd, ee := tk.Counts()
+		deposited[id], exited[id], activeEnd[id] = dd, ee, a
+	})
+	res.Wall = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		res.Injected += injected[i]
+		res.Deposited += deposited[i]
+		res.Exited += exited[i]
+		res.ActiveEnd += activeEnd[i]
+	}
+	res.Makespan = tr.MaxClock()
+	res.DLB = d.Snapshot()
+	return res, nil
+}
+
+// velocityTransfer precomputes which owned nodes each fluid rank ships to
+// each particle rank.
+type velocityTransfer struct {
+	// sends[fluidRank] lists (particleRank, globalNodes).
+	sends [][]xferList
+	// recvs[particleRank] lists (fluidRank, globalNodes).
+	recvs [][]xferList
+}
+
+type xferList struct {
+	peer  int // comm rank within the OTHER group's world indices
+	nodes []int32
+}
+
+func buildTransfer(fluidRMs, partRMs []*partition.RankMesh) *velocityTransfer {
+	vt := &velocityTransfer{
+		sends: make([][]xferList, len(fluidRMs)),
+		recvs: make([][]xferList, len(partRMs)),
+	}
+	for fi, frm := range fluidRMs {
+		// Owned global nodes of this fluid rank.
+		owned := make(map[int32]bool, frm.NumOwned)
+		for i, g := range frm.GlobalNode {
+			if frm.Owned[i] {
+				owned[g] = true
+			}
+		}
+		for pi, prm := range partRMs {
+			var nodes []int32
+			for _, g := range prm.GlobalNode {
+				if owned[g] {
+					nodes = append(nodes, g)
+				}
+			}
+			if len(nodes) > 0 {
+				vt.sends[fi] = append(vt.sends[fi], xferList{peer: pi, nodes: nodes})
+				vt.recvs[pi] = append(vt.recvs[pi], xferList{peer: fi, nodes: nodes})
+			}
+		}
+	}
+	return vt
+}
+
+// runCoupled: f fluid ranks + p particle ranks (Figure 3, bottom).
+func runCoupled(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
+	f, p := cfg.FluidRanks, cfg.ParticleRanks
+	total := f + p
+	fluidRMs, err := buildPartition(m, f)
+	if err != nil {
+		return nil, err
+	}
+	partRMs, err := buildPartition(m, p)
+	if err != nil {
+		return nil, err
+	}
+	vt := buildTransfer(fluidRMs, partRMs)
+
+	world, d, pools, err := newWorld(cfg, total)
+	if err != nil {
+		return nil, err
+	}
+	defer closePools(pools)
+
+	tr := trace.NewTrace(total)
+	res := &RunResult{Trace: tr}
+	injected := make([]int, total)
+	deposited := make([]int, total)
+	exited := make([]int, total)
+	activeEnd := make([]int, total)
+
+	start := time.Now()
+	err = world.Run(func(r *simmpi.Rank) {
+		id := r.ID()
+		isFluid := id < f
+		var color int
+		if !isFluid {
+			color = 1
+		}
+		sub := r.Comm.Split(color, id)
+
+		if isFluid {
+			ns, err := navierstokes.NewSolver(m, fluidRMs[id], sub, pools[id], cfg.NS, cfg.Cost, tr.Ranks[id])
+			if err != nil {
+				panic(err)
+			}
+			for step := 0; step < cfg.Steps; step++ {
+				if _, err := ns.Step(); err != nil {
+					panic(err)
+				}
+				// Ship owned velocities to particle ranks, stamping the
+				// sender's virtual clock (one-way pipeline).
+				for _, xl := range vt.sends[id] {
+					buf := make([]float64, 1+3*len(xl.nodes))
+					buf[0] = tr.Ranks[id].Clock()
+					for i, g := range xl.nodes {
+						v := ns.VelocityAt(g)
+						buf[1+3*i] = v.X
+						buf[1+3*i+1] = v.Y
+						buf[1+3*i+2] = v.Z
+					}
+					r.Comm.Send(f+xl.peer, tagVelocity, buf)
+				}
+			}
+			return
+		}
+
+		// Particle rank.
+		pid := id - f
+		rm := partRMs[pid]
+		tk := particles.NewTracker(m, rm.Elems, cfg.Species, cfg.Fluid)
+		peers := make([]int, 0, len(rm.Halos))
+		for _, h := range rm.Halos {
+			peers = append(peers, h.Peer)
+		}
+		// Velocity store for local nodes.
+		vel := make([]mesh.Vec3, rm.NumLocalNodes())
+		velAt := func(g int32) mesh.Vec3 {
+			if ln := rm.LocalNode[g]; ln >= 0 {
+				return vel[ln]
+			}
+			return mesh.Vec3{}
+		}
+		for step := 0; step < cfg.Steps; step++ {
+			// Receive this step's velocity field from all fluid sources.
+			senderClock := 0.0
+			shipped := 0
+			for _, xl := range vt.recvs[pid] {
+				buf := r.Comm.RecvFloat64s(xl.peer, tagVelocity)
+				if buf[0] > senderClock {
+					senderClock = buf[0]
+				}
+				for i, g := range xl.nodes {
+					if ln := rm.LocalNode[g]; ln >= 0 {
+						vel[ln] = mesh.Vec3{X: buf[1+3*i], Y: buf[1+3*i+1], Z: buf[1+3*i+2]}
+					}
+				}
+				shipped += len(xl.nodes)
+			}
+			tr.Ranks[id].AlignTo(senderClock + float64(shipped)*cfg.TransferUnit)
+			if step == 0 {
+				injected[id] = particles.InjectAtInletCollective(sub, tk, cfg.NumParticles, cfg.Seed, cfg.NS.InletVelocity)
+			}
+			w0 := tk.WorkUnits
+			tk.Step(cfg.NS.Props.Dt, velAt)
+			particles.Migrate(sub, tk, peers, tagMigrate)
+			tr.Ranks[id].Advance(trace.PhaseParticles, float64(tk.WorkUnits-w0)*cfg.ParticleUnit)
+			maxClock := sub.AllreduceFloat64(tr.Ranks[id].Clock(), simmpi.OpMax)
+			tr.Ranks[id].AlignTo(maxClock)
+		}
+		a, dd, ee := tk.Counts()
+		deposited[id], exited[id], activeEnd[id] = dd, ee, a
+	})
+	res.Wall = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < total; i++ {
+		res.Injected += injected[i]
+		res.Deposited += deposited[i]
+		res.Exited += exited[i]
+		res.ActiveEnd += activeEnd[i]
+	}
+	res.Makespan = tr.MaxClock()
+	res.DLB = d.Snapshot()
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package coupling
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestMakespanMatchesTraceClock(t *testing.T) {
+	m := testMesh(t)
+	cfg := fastCfg()
+	cfg.FluidRanks = 4
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != res.Trace.MaxClock() {
+		t.Fatalf("makespan %g != trace %g", res.Makespan, res.Trace.MaxClock())
+	}
+}
+
+func TestSynchronousRanksStayAligned(t *testing.T) {
+	// Bulk-synchronous steps end with an allreduce alignment: every
+	// rank's final clock must agree.
+	m := testMesh(t)
+	cfg := fastCfg()
+	cfg.FluidRanks = 6
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := res.Trace.Ranks[0].Clock()
+	for _, rt := range res.Trace.Ranks {
+		if rt.Clock() != c0 {
+			t.Fatalf("rank %d clock %g != %g", rt.Rank, rt.Clock(), c0)
+		}
+	}
+}
+
+func TestCoupledParticleGroupAligned(t *testing.T) {
+	m := testMesh(t)
+	cfg := fastCfg()
+	cfg.Mode = Coupled
+	cfg.FluidRanks = 3
+	cfg.ParticleRanks = 2
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Particle ranks align among themselves each step.
+	pc := res.Trace.Ranks[cfg.FluidRanks].Clock()
+	for r := cfg.FluidRanks; r < cfg.FluidRanks+cfg.ParticleRanks; r++ {
+		if res.Trace.Ranks[r].Clock() != pc {
+			t.Fatal("particle group desynchronized")
+		}
+	}
+}
+
+func TestCoupledVelocityActuallyArrives(t *testing.T) {
+	// With a working transfer, particles move (downward inhalation flow
+	// reaches them): the mean particle z must decrease across the run —
+	// verified indirectly by work having been done on particle ranks.
+	m := testMesh(t)
+	cfg := fastCfg()
+	cfg.Mode = Coupled
+	cfg.FluidRanks = 3
+	cfg.ParticleRanks = 1
+	cfg.Steps = 3
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTimes := res.Trace.PhaseTimes()[trace.PhaseParticles]
+	work := 0.0
+	for _, v := range pTimes {
+		work += v
+	}
+	if work <= 0 {
+		t.Fatal("particle ranks did no work")
+	}
+	// Every injected particle is accounted for.
+	if res.Injected != res.ActiveEnd+res.Deposited+res.Exited {
+		t.Fatal("conservation")
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	// Two identical runs must produce identical virtual makespans
+	// (virtual time is work-accounted, not wall-clock).
+	m := testMesh(t)
+	cfg := fastCfg()
+	cfg.FluidRanks = 4
+	a, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("virtual time not deterministic: %g vs %g", a.Makespan, b.Makespan)
+	}
+	if a.Injected != b.Injected || a.Deposited != b.Deposited {
+		t.Fatal("particle outcomes not deterministic")
+	}
+}

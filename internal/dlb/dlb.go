@@ -1,0 +1,208 @@
+// Package dlb reimplements the Dynamic Load Balancing library (DLB) with
+// its LeWI ("lend when idle") policy, the paper's second runtime
+// technique. DLB is transparent to the application: it observes blocking
+// MPI calls through the PMPI-style hooks exposed by simmpi and reacts by
+// resizing the OpenMP-like worker pools of the processes sharing a node.
+//
+// When a process enters a blocking MPI call it lends its cores to the
+// other processes on the same node; when the call completes it reclaims
+// them. Lending never crosses node boundaries — cores are a node-local
+// resource — which is why the placement of fluid and particle ranks
+// across nodes matters in the coupled-mode experiments (Figures 8-11).
+package dlb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Resizable is the pool surface DLB drives; *tasking.Pool satisfies it.
+type Resizable interface {
+	SetWorkers(n int)
+	Workers() int
+	MaxWorkers() int
+}
+
+// Stats counts DLB activity for reporting and tests.
+type Stats struct {
+	Lends    int // blocking-call entries that lent cores
+	Reclaims int // blocking-call exits that took cores back
+	// PeakWorkers records the largest worker count each rank reached
+	// thanks to borrowed cores.
+	PeakWorkers map[int]int
+}
+
+// DLB is the library instance for one run. Register every rank, then
+// install it as the world's BlockingHooks (it implements
+// simmpi.BlockingHooks).
+type DLB struct {
+	mu      sync.Mutex
+	enabled bool
+	nodes   map[int]*nodeState
+	ranks   map[int]*procState
+	stats   Stats
+}
+
+type nodeState struct {
+	procs []*procState // registration order
+}
+
+type procState struct {
+	rank    int
+	node    *nodeState
+	pool    Resizable
+	owned   int
+	blocked bool
+	target  int // last worker count pushed to the pool (0 = unknown)
+}
+
+// setTarget pushes a worker count to the pool only when it changed —
+// rebalances run on every blocking call, so redundant pool wakeups are
+// the dominant overhead otherwise.
+func (p *procState) setTarget(n int) {
+	if p.target == n {
+		return
+	}
+	p.target = n
+	p.pool.SetWorkers(n)
+}
+
+// New creates a DLB instance; pass enabled=false for the "original"
+// (no load balancing) configuration so call sites stay identical.
+func New(enabled bool) *DLB {
+	return &DLB{
+		enabled: enabled,
+		nodes:   make(map[int]*nodeState),
+		ranks:   make(map[int]*procState),
+		stats:   Stats{PeakWorkers: make(map[int]int)},
+	}
+}
+
+// Enabled reports whether lending is active.
+func (d *DLB) Enabled() bool { return d.enabled }
+
+// Register binds a rank living on the given node to its worker pool and
+// its owned core count. Must be called before the rank communicates.
+func (d *DLB) Register(rank, node int, pool Resizable, ownedCores int) error {
+	if ownedCores < 1 {
+		return fmt.Errorf("dlb: rank %d must own at least one core", rank)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.ranks[rank]; dup {
+		return fmt.Errorf("dlb: rank %d registered twice", rank)
+	}
+	ns := d.nodes[node]
+	if ns == nil {
+		ns = &nodeState{}
+		d.nodes[node] = ns
+	}
+	p := &procState{rank: rank, node: ns, pool: pool, owned: ownedCores}
+	ns.procs = append(ns.procs, p)
+	d.ranks[rank] = p
+	return nil
+}
+
+// IntoBlockingCall implements the PMPI hook: the rank is about to block,
+// so its cores become lendable (LeWI).
+func (d *DLB) IntoBlockingCall(rank int) {
+	if !d.enabled {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.ranks[rank]
+	if p == nil || p.blocked {
+		return
+	}
+	p.blocked = true
+	d.stats.Lends++
+	d.rebalanceLocked(p.node)
+}
+
+// OutOfBlockingCall implements the PMPI hook: the rank resumed, so it
+// reclaims its owned cores.
+func (d *DLB) OutOfBlockingCall(rank int) {
+	if !d.enabled {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.ranks[rank]
+	if p == nil || !p.blocked {
+		return
+	}
+	p.blocked = false
+	d.stats.Reclaims++
+	d.rebalanceLocked(p.node)
+}
+
+// rebalanceLocked recomputes the core assignment of one node: every
+// active (non-blocked) process keeps its owned cores and the owned cores
+// of blocked processes are distributed round-robin among the active ones.
+// The recomputation is idempotent, so it can run on every transition.
+func (d *DLB) rebalanceLocked(ns *nodeState) {
+	lendPot := 0
+	var active []*procState
+	for _, p := range ns.procs {
+		if p.blocked {
+			lendPot += p.owned
+		} else {
+			active = append(active, p)
+		}
+	}
+	if len(active) == 0 {
+		// Everyone blocked: nothing to lend to; restore owners.
+		for _, p := range ns.procs {
+			p.setTarget(p.owned)
+		}
+		return
+	}
+	share := lendPot / len(active)
+	rem := lendPot % len(active)
+	for i, p := range active {
+		extra := share
+		if i < rem {
+			extra++
+		}
+		target := p.owned + extra
+		p.setTarget(target)
+		if w := p.pool.Workers(); w > d.stats.PeakWorkers[p.rank] {
+			d.stats.PeakWorkers[p.rank] = w
+		}
+	}
+	// Blocked processes fall back to a single (idle) worker slot so any
+	// straggler tasks still drain.
+	for _, p := range ns.procs {
+		if p.blocked {
+			p.setTarget(1)
+		}
+	}
+}
+
+// Snapshot returns a copy of the activity counters.
+func (d *DLB) Snapshot() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := Stats{
+		Lends:       d.stats.Lends,
+		Reclaims:    d.stats.Reclaims,
+		PeakWorkers: make(map[int]int, len(d.stats.PeakWorkers)),
+	}
+	for k, v := range d.stats.PeakWorkers {
+		out.PeakWorkers[k] = v
+	}
+	return out
+}
+
+// WorkersOf reports the current worker target of a rank's pool (testing
+// and tracing aid).
+func (d *DLB) WorkersOf(rank int) int {
+	d.mu.Lock()
+	p := d.ranks[rank]
+	d.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.pool.Workers()
+}

@@ -1,0 +1,253 @@
+package dlb
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simmpi"
+	"repro/internal/tasking"
+)
+
+// fakePool records SetWorkers calls without real goroutines.
+type fakePool struct {
+	mu     sync.Mutex
+	target int
+	max    int
+}
+
+func newFakePool(n, max int) *fakePool { return &fakePool{target: n, max: max} }
+
+func (f *fakePool) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > f.max {
+		n = f.max
+	}
+	f.mu.Lock()
+	f.target = n
+	f.mu.Unlock()
+}
+
+func (f *fakePool) Workers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.target
+}
+
+func (f *fakePool) MaxWorkers() int { return f.max }
+
+func TestLendAndReclaim(t *testing.T) {
+	d := New(true)
+	pa := newFakePool(2, 8)
+	pb := newFakePool(2, 8)
+	if err := d.Register(0, 0, pa, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(1, 0, pb, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	d.IntoBlockingCall(0)
+	if got := pb.Workers(); got != 4 {
+		t.Fatalf("after lend, rank 1 workers = %d, want 4", got)
+	}
+	if got := pa.Workers(); got != 1 {
+		t.Fatalf("blocked rank pool = %d, want idle 1", got)
+	}
+
+	d.OutOfBlockingCall(0)
+	if got := pb.Workers(); got != 2 {
+		t.Fatalf("after reclaim, rank 1 workers = %d, want 2", got)
+	}
+	if got := pa.Workers(); got != 2 {
+		t.Fatalf("after reclaim, rank 0 workers = %d, want 2", got)
+	}
+
+	s := d.Snapshot()
+	if s.Lends != 1 || s.Reclaims != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.PeakWorkers[1] != 4 {
+		t.Fatalf("peak workers of rank 1 = %d, want 4", s.PeakWorkers[1])
+	}
+}
+
+func TestLendDistributionWithRemainder(t *testing.T) {
+	d := New(true)
+	pools := make([]*fakePool, 4)
+	for i := range pools {
+		pools[i] = newFakePool(3, 12)
+		if err := d.Register(i, 0, pools[i], 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rank 3 blocks: its 3 cores split over ranks 0,1,2 -> 4,4,4.
+	d.IntoBlockingCall(3)
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += pools[i].Workers()
+	}
+	if total != 12 {
+		t.Fatalf("active workers sum to %d, want 12 (9 owned + 3 lent)", total)
+	}
+	// Rank 2 blocks too: 6 lent cores over ranks 0,1 -> 6,6.
+	d.IntoBlockingCall(2)
+	if pools[0].Workers()+pools[1].Workers() != 12 {
+		t.Fatalf("after second lend: %d + %d != 12", pools[0].Workers(), pools[1].Workers())
+	}
+	d.OutOfBlockingCall(2)
+	d.OutOfBlockingCall(3)
+	for i, p := range pools {
+		if p.Workers() != 3 {
+			t.Fatalf("rank %d not restored: %d", i, p.Workers())
+		}
+	}
+}
+
+func TestNoCrossNodeLending(t *testing.T) {
+	d := New(true)
+	p0 := newFakePool(2, 8)
+	p1 := newFakePool(2, 8)
+	if err := d.Register(0, 0, p0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(1, 1, p1, 2); err != nil { // different node
+		t.Fatal(err)
+	}
+	d.IntoBlockingCall(0)
+	if p1.Workers() != 2 {
+		t.Fatalf("cross-node lending occurred: %d", p1.Workers())
+	}
+}
+
+func TestDisabledDLBIsNoop(t *testing.T) {
+	d := New(false)
+	p0 := newFakePool(2, 8)
+	p1 := newFakePool(2, 8)
+	_ = d.Register(0, 0, p0, 2)
+	_ = d.Register(1, 0, p1, 2)
+	d.IntoBlockingCall(0)
+	if p1.Workers() != 2 {
+		t.Fatal("disabled DLB must not lend")
+	}
+	if d.Enabled() {
+		t.Fatal("Enabled() should be false")
+	}
+	s := d.Snapshot()
+	if s.Lends != 0 {
+		t.Fatal("disabled DLB recorded lends")
+	}
+}
+
+func TestAllBlockedRestoresOwners(t *testing.T) {
+	d := New(true)
+	p0 := newFakePool(2, 8)
+	p1 := newFakePool(2, 8)
+	_ = d.Register(0, 0, p0, 2)
+	_ = d.Register(1, 0, p1, 2)
+	d.IntoBlockingCall(0)
+	d.IntoBlockingCall(1)
+	if p0.Workers() != 2 || p1.Workers() != 2 {
+		t.Fatalf("all-blocked should restore owners: %d %d", p0.Workers(), p1.Workers())
+	}
+	d.OutOfBlockingCall(0)
+	d.OutOfBlockingCall(1)
+}
+
+func TestRegisterErrors(t *testing.T) {
+	d := New(true)
+	p := newFakePool(1, 2)
+	if err := d.Register(0, 0, p, 0); err == nil {
+		t.Fatal("want error for zero cores")
+	}
+	if err := d.Register(0, 0, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(0, 0, p, 1); err == nil {
+		t.Fatal("want error for duplicate rank")
+	}
+	if d.WorkersOf(99) != 0 {
+		t.Fatal("unknown rank should report 0 workers")
+	}
+}
+
+func TestIdempotentHooks(t *testing.T) {
+	d := New(true)
+	p0 := newFakePool(2, 8)
+	p1 := newFakePool(2, 8)
+	_ = d.Register(0, 0, p0, 2)
+	_ = d.Register(1, 0, p1, 2)
+	d.IntoBlockingCall(0)
+	d.IntoBlockingCall(0) // double-enter must not double-lend
+	if p1.Workers() != 4 {
+		t.Fatalf("workers %d, want 4", p1.Workers())
+	}
+	d.OutOfBlockingCall(0)
+	d.OutOfBlockingCall(0)
+	if p1.Workers() != 2 {
+		t.Fatalf("workers %d, want 2", p1.Workers())
+	}
+	s := d.Snapshot()
+	if s.Lends != 1 || s.Reclaims != 1 {
+		t.Fatalf("hooks not idempotent: %+v", s)
+	}
+}
+
+// Integration: an imbalanced MPI+tasking run where rank 0 finishes early
+// and blocks in a receive; DLB lends its cores to rank 1, which must
+// observe increased pool concurrency while rank 0 waits.
+func TestDLBWithSimMPIAndRealPools(t *testing.T) {
+	d := New(true)
+	world, err := simmpi.NewWorld(2, simmpi.WithRanksPerNode(2), simmpi.WithBlockingHooks(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := [2]*tasking.Pool{tasking.NewPool(4), tasking.NewPool(4)}
+	defer pools[0].Close()
+	defer pools[1].Close()
+	pools[0].SetWorkers(2)
+	pools[1].SetWorkers(2)
+	if err := d.Register(0, 0, pools[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(1, 0, pools[1], 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var rank1Peak int32
+	err = world.Run(func(r *simmpi.Rank) {
+		pool := pools[r.ID()]
+		switch r.ID() {
+		case 0:
+			// Tiny workload, then block waiting for rank 1.
+			pool.ParallelFor(4, 1, func(lo, hi int) {})
+			r.Comm.Recv(1, 1)
+		case 1:
+			// Heavy workload; record the pool's target while running.
+			time.Sleep(2 * time.Millisecond) // let rank 0 block
+			pool.ParallelFor(64, 1, func(lo, hi int) {
+				w := int32(pool.Workers())
+				for {
+					p := atomic.LoadInt32(&rank1Peak)
+					if w <= p || atomic.CompareAndSwapInt32(&rank1Peak, p, w) {
+						break
+					}
+				}
+				time.Sleep(100 * time.Microsecond)
+			})
+			r.Comm.Send(0, 1, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&rank1Peak); got < 3 {
+		t.Fatalf("rank 1 never borrowed cores: peak workers %d, want >= 3", got)
+	}
+	if pools[1].Workers() != 2 {
+		t.Fatalf("cores not reclaimed after run: %d", pools[1].Workers())
+	}
+}

@@ -1,0 +1,190 @@
+package la
+
+import (
+	"errors"
+	"math"
+)
+
+// Ops abstracts the vector-space operations a Krylov solver needs, so the
+// same implementation runs serially (tests) and distributed (each MPI rank
+// passes a MatVec that performs halo exchange and a Dot that reduces over
+// owned entries with an allreduce).
+type Ops struct {
+	N      int
+	MatVec func(x, y []float64)         // y = A x
+	Dot    func(x, y []float64) float64 // global inner product
+}
+
+// OpsFromMatrix returns serial Ops for an assembled matrix.
+func OpsFromMatrix(a *CSRMatrix) Ops {
+	return Ops{N: a.N, MatVec: a.MulVec, Dot: Dot}
+}
+
+// SolveStats reports the outcome of an iterative solve.
+type SolveStats struct {
+	Iterations int
+	Residual   float64 // final relative residual ||r|| / ||b||
+	Converged  bool
+}
+
+// ErrBreakdown is returned when a Krylov recurrence hits a zero pivot.
+var ErrBreakdown = errors.New("la: krylov breakdown")
+
+// JacobiPreconditioner returns a preconditioner closure z = D^{-1} r for
+// the given diagonal; zero diagonal entries pass through unscaled.
+func JacobiPreconditioner(diag []float64) func(r, z []float64) {
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		if d != 0 {
+			inv[i] = 1 / d
+		} else {
+			inv[i] = 1
+		}
+	}
+	return func(r, z []float64) {
+		for i := range r {
+			z[i] = r[i] * inv[i]
+		}
+	}
+}
+
+// IdentityPreconditioner copies r into z.
+func IdentityPreconditioner(r, z []float64) { copy(z, r) }
+
+// PCG solves A x = b with preconditioned conjugate gradients; A must be
+// symmetric positive definite. x holds the initial guess on entry and the
+// solution on exit.
+func PCG(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, maxIter int) (SolveStats, error) {
+	n := ops.N
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	ops.MatVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := math.Sqrt(ops.Dot(b, b))
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	precond(r, z)
+	copy(p, z)
+	rz := ops.Dot(r, z)
+	var stats SolveStats
+	for k := 0; k < maxIter; k++ {
+		rnorm := math.Sqrt(ops.Dot(r, r))
+		stats.Residual = rnorm / bnorm
+		if stats.Residual <= tol {
+			stats.Converged = true
+			return stats, nil
+		}
+		ops.MatVec(p, ap)
+		pap := ops.Dot(p, ap)
+		if pap == 0 {
+			return stats, ErrBreakdown
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		precond(r, z)
+		rzNew := ops.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		stats.Iterations = k + 1
+	}
+	rnorm := math.Sqrt(ops.Dot(r, r))
+	stats.Residual = rnorm / bnorm
+	stats.Converged = stats.Residual <= tol
+	return stats, nil
+}
+
+// BiCGSTAB solves A x = b for general (nonsymmetric) A with the
+// stabilized bi-conjugate gradient method and a right preconditioner.
+func BiCGSTAB(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, maxIter int) (SolveStats, error) {
+	n := ops.N
+	r := make([]float64, n)
+	rhat := make([]float64, n)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	phat := make([]float64, n)
+	shat := make([]float64, n)
+
+	ops.MatVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	copy(rhat, r)
+	bnorm := math.Sqrt(ops.Dot(b, b))
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	var stats SolveStats
+	for k := 0; k < maxIter; k++ {
+		rnorm := math.Sqrt(ops.Dot(r, r))
+		stats.Residual = rnorm / bnorm
+		if stats.Residual <= tol {
+			stats.Converged = true
+			return stats, nil
+		}
+		rhoNew := ops.Dot(rhat, r)
+		if rhoNew == 0 {
+			return stats, ErrBreakdown
+		}
+		if k == 0 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		precond(p, phat)
+		ops.MatVec(phat, v)
+		den := ops.Dot(rhat, v)
+		if den == 0 {
+			return stats, ErrBreakdown
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		snorm := math.Sqrt(ops.Dot(s, s))
+		if snorm/bnorm <= tol {
+			Axpy(alpha, phat, x)
+			stats.Iterations = k + 1
+			stats.Residual = snorm / bnorm
+			stats.Converged = true
+			return stats, nil
+		}
+		precond(s, shat)
+		ops.MatVec(shat, t)
+		tt := ops.Dot(t, t)
+		if tt == 0 {
+			return stats, ErrBreakdown
+		}
+		omega = ops.Dot(t, s) / tt
+		if omega == 0 {
+			return stats, ErrBreakdown
+		}
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		stats.Iterations = k + 1
+	}
+	rnorm := math.Sqrt(ops.Dot(r, r))
+	stats.Residual = rnorm / bnorm
+	stats.Converged = stats.Residual <= tol
+	return stats, nil
+}

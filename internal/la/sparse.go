@@ -1,0 +1,161 @@
+// Package la provides the sparse linear algebra used by the flow solver:
+// CSR matrices assembled from finite-element meshes, and the two Krylov
+// solvers that constitute the paper's "Solver1" (momentum) and "Solver2"
+// (continuity) phases — BiCGSTAB for the nonsymmetric momentum system and
+// conjugate gradients for the symmetric pressure system, both with Jacobi
+// (diagonal) preconditioning, which is what Alya production runs of this
+// case use.
+package la
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// CSRMatrix is a square sparse matrix in compressed sparse row format.
+// The column pattern is fixed at construction; values are accumulated
+// in place during assembly.
+type CSRMatrix struct {
+	N   int
+	Ptr []int32
+	Col []int32
+	Val []float64
+}
+
+// NewCSRFromGraph builds a matrix whose sparsity pattern is the node
+// adjacency graph plus the diagonal — the standard FEM stencil. Column
+// indices within a row are ascending.
+func NewCSRFromGraph(g *graph.CSR) *CSRMatrix {
+	n := g.NumVertices()
+	ptr := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		ptr[v+1] = ptr[v] + int32(g.Degree(v)) + 1 // +1 diagonal
+	}
+	col := make([]int32, ptr[n])
+	for v := 0; v < n; v++ {
+		w := ptr[v]
+		placedDiag := false
+		for _, u := range g.Neighbors(v) {
+			if !placedDiag && u > int32(v) {
+				col[w] = int32(v)
+				w++
+				placedDiag = true
+			}
+			col[w] = u
+			w++
+		}
+		if !placedDiag {
+			col[w] = int32(v)
+		}
+	}
+	return &CSRMatrix{N: n, Ptr: ptr, Col: col, Val: make([]float64, ptr[n])}
+}
+
+// Zero clears all stored values (keeps the pattern).
+func (a *CSRMatrix) Zero() {
+	for i := range a.Val {
+		a.Val[i] = 0
+	}
+}
+
+// Find returns the value-slot index for entry (i,j), or -1 if (i,j) is not
+// in the pattern. Binary search over the sorted row.
+func (a *CSRMatrix) Find(i, j int32) int {
+	lo, hi := a.Ptr[i], a.Ptr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case a.Col[mid] < j:
+			lo = mid + 1
+		case a.Col[mid] > j:
+			hi = mid
+		default:
+			return int(mid)
+		}
+	}
+	return -1
+}
+
+// Add accumulates v into entry (i,j); it panics if the entry is outside
+// the pattern, which indicates an assembly bug.
+func (a *CSRMatrix) Add(i, j int32, v float64) {
+	k := a.Find(i, j)
+	if k < 0 {
+		panic(fmt.Sprintf("la: entry (%d,%d) outside matrix pattern", i, j))
+	}
+	a.Val[k] += v
+}
+
+// MulVec computes y = A x.
+func (a *CSRMatrix) MulVec(x, y []float64) {
+	for i := 0; i < a.N; i++ {
+		sum := 0.0
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			sum += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// Diagonal extracts the matrix diagonal into d.
+func (a *CSRMatrix) Diagonal(d []float64) {
+	for i := 0; i < a.N; i++ {
+		d[i] = 0
+		if k := a.Find(int32(i), int32(i)); k >= 0 {
+			d[i] = a.Val[k]
+		}
+	}
+}
+
+// SetDirichletRow replaces row i with the identity row (diagonal 1, rest
+// 0), the standard strong boundary-condition treatment.
+func (a *CSRMatrix) SetDirichletRow(i int32) {
+	for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+		if a.Col[k] == i {
+			a.Val[k] = 1
+		} else {
+			a.Val[k] = 0
+		}
+	}
+}
+
+// NNZ reports the number of stored entries.
+func (a *CSRMatrix) NNZ() int { return len(a.Val) }
+
+// Dot returns the Euclidean inner product of x and y.
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Copy copies src into dst.
+func Copy(dst, src []float64) { copy(dst, src) }
+
+// Fill sets every entry of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}

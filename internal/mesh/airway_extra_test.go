@@ -1,0 +1,138 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperScaleConfigDocumentsTarget(t *testing.T) {
+	cfg := PaperScaleConfig()
+	if cfg.Generations != 7 {
+		t.Fatalf("the paper's mesh reaches generation 7, config says %d", cfg.Generations)
+	}
+	// Do not generate it (minutes, GB); just check it is structurally a
+	// valid configuration by scaling it down proportionally.
+	cfg.Generations = 1
+	cfg.NTheta = 8
+	cfg.NRadial = 2
+	cfg.NBoundaryLayers = 2
+	cfg.NAxial = 3
+	m, err := GenerateAirway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAirwayVolumeGrowsWithGenerations(t *testing.T) {
+	cfg := DefaultAirwayConfig()
+	cfg.NTheta = 8
+	cfg.NAxial = 4
+	var prev float64
+	for gens := 0; gens <= 2; gens++ {
+		cfg.Generations = gens
+		m, err := GenerateAirway(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := m.TotalVolume()
+		if v <= prev {
+			t.Fatalf("volume must grow with generations: %g after %g", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAirwayElementKindFractions(t *testing.T) {
+	// The hybrid mix should be dominated by tets with prisms at walls
+	// and a pyramid minority — like real airway meshes.
+	cfg := DefaultAirwayConfig()
+	cfg.Generations = 2
+	m, err := GenerateAirway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	tot := float64(s.Elems)
+	if f := float64(s.Tets) / tot; f < 0.4 {
+		t.Fatalf("tet fraction %.2f too small", f)
+	}
+	if f := float64(s.Pyramids) / tot; f > 0.25 {
+		t.Fatalf("pyramid fraction %.2f too large for a transition layer", f)
+	}
+	if f := float64(s.Prisms) / tot; f < 0.05 || f > 0.5 {
+		t.Fatalf("prism fraction %.2f implausible for a boundary layer", f)
+	}
+}
+
+func TestBoundaryFacesOnTube(t *testing.T) {
+	// A single unbranched tube: boundary faces exist and include faces
+	// whose nodes are all wall nodes (the lateral surface).
+	cfg := DefaultAirwayConfig()
+	cfg.Generations = 0
+	cfg.NTheta = 8
+	cfg.NAxial = 3
+	cfg.WithInletFunnel = false
+	m, err := GenerateAirway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faces := m.BoundaryFaces()
+	if len(faces) == 0 {
+		t.Fatal("no boundary faces on a tube")
+	}
+	wall := map[int32]bool{}
+	for _, w := range m.WallNodes {
+		wall[w] = true
+	}
+	wallFaces := 0
+	for _, f := range faces {
+		all := true
+		for _, nd := range f.N {
+			if nd >= 0 && !wall[nd] {
+				all = false
+				break
+			}
+		}
+		if all {
+			wallFaces++
+		}
+	}
+	if wallFaces == 0 {
+		t.Fatal("no boundary faces on the airway wall")
+	}
+}
+
+func TestCentroidInsideBoundingBox(t *testing.T) {
+	m := smallAirway(t)
+	lo, hi := m.BoundingBox()
+	for e := 0; e < m.NumElems(); e += 11 {
+		c := m.Centroid(e)
+		if c.X < lo.X || c.X > hi.X || c.Y < lo.Y || c.Y > hi.Y || c.Z < lo.Z || c.Z > hi.Z {
+			t.Fatalf("centroid of element %d outside bbox", e)
+		}
+	}
+}
+
+func TestNoInletFunnelInletOnTrachea(t *testing.T) {
+	cfg := DefaultAirwayConfig()
+	cfg.Generations = 0
+	cfg.NTheta = 8
+	cfg.NAxial = 3
+	cfg.WithInletFunnel = false
+	m, err := GenerateAirway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.InletNodes) == 0 {
+		t.Fatal("no inlet without funnel")
+	}
+	// Without the funnel the inlet sits at z=0 (trachea origin).
+	for _, nd := range m.InletNodes {
+		if math.Abs(m.Coords[nd].Z) > 1e-12 {
+			t.Fatalf("inlet node at z=%g, want 0", m.Coords[nd].Z)
+		}
+	}
+}

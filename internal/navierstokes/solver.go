@@ -1,0 +1,317 @@
+// Package navierstokes implements the paper's fluid code: a distributed
+// stabilized finite-element fractional-step solver for incompressible
+// flow (eqs. 1-2) on hybrid airway meshes, with exactly the phase
+// structure the paper profiles in Figure 2 and Table 1:
+//
+//	Matrix assembly -> Solver1 (momentum, BiCGSTAB) ->
+//	Solver2 (continuity/pressure, CG) -> SGS (subgrid-scale vector)
+//
+// Each MPI rank (a simmpi goroutine) owns the elements of one partition
+// subdomain, assembles its local matrices with a configurable tasking
+// strategy (Atomics / Coloring / Multidependences), and cooperates
+// through halo sums and allreduce-based inner products.
+//
+// The solver also does deterministic virtual-time accounting per phase
+// through a trace.RankTracer, which is what regenerates Table 1 and
+// Figure 2 independently of the host machine.
+package navierstokes
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/mesh"
+	"repro/internal/partition"
+	"repro/internal/simmpi"
+	"repro/internal/tasking"
+	"repro/internal/trace"
+)
+
+// Config controls one solver instance.
+type Config struct {
+	Props fem.FluidProps
+
+	// Strategy parallelizes the momentum assembly; SGSStrategy the
+	// subgrid-scale loop (the paper evaluates both phases separately).
+	Strategy    tasking.Strategy
+	SGSStrategy tasking.Strategy
+	// SubdomainsPerRank is the multidependences task count per rank
+	// (0 = 4 tasks per worker).
+	SubdomainsPerRank int
+	// Keying selects the mutexinoutset key construction.
+	Keying tasking.MutexKeying
+
+	InletVelocity mesh.Vec3
+
+	TolMomentum, TolPressure         float64
+	MaxIterMomentum, MaxIterPressure int
+}
+
+// DefaultConfig returns production-like settings: multidependences
+// assembly (the paper's best), atomics label for SGS (which executes no
+// atomic at all — the paper's best for that phase), air at rest driven by
+// a rapid inhalation at the inlet.
+func DefaultConfig() Config {
+	return Config{
+		Props:           fem.FluidProps{Rho: 1.204, Mu: 1.82e-5, Dt: 1e-4, SUPG: true},
+		Strategy:        tasking.StrategyMultidep,
+		SGSStrategy:     tasking.StrategyAtomic,
+		InletVelocity:   mesh.Vec3{Z: -1.5}, // rapid inhalation, ~1.5 m/s at the face
+		TolMomentum:     1e-8,
+		TolPressure:     1e-8,
+		MaxIterMomentum: 400,
+		MaxIterPressure: 800,
+	}
+}
+
+// CostModel converts work counts into deterministic virtual seconds for
+// the phase tracer. Units are arbitrary; the experiment harness sets them
+// from the architecture profiles.
+type CostModel struct {
+	AssemblyUnit float64 // per fem.CostWeight unit
+	SolverUnit   float64 // momentum solver, per nonzero per iteration
+	Solver2Unit  float64 // pressure solver, per nonzero per iteration (0 = SolverUnit)
+	SGSUnit      float64 // per fem.CostWeight unit in the SGS loop
+}
+
+// solver2Unit returns the pressure-solver unit, defaulting to SolverUnit.
+func (c CostModel) solver2Unit() float64 {
+	if c.Solver2Unit != 0 {
+		return c.Solver2Unit
+	}
+	return c.SolverUnit
+}
+
+// DefaultCostModel returns unit costs calibrated so that the phase shares
+// of a pure-MPI respiratory run reproduce Table 1's distribution.
+func DefaultCostModel() CostModel {
+	return CostModel{AssemblyUnit: 1.0, SolverUnit: 0.006, Solver2Unit: 6e-5, SGSUnit: 0.52}
+}
+
+// StepStats reports one time step.
+type StepStats struct {
+	MomentumIters int
+	PressureIters int
+	MomentumRes   float64
+	PressureRes   float64
+}
+
+// Solver is the per-rank solver state.
+type Solver struct {
+	M    *mesh.Mesh
+	RM   *partition.RankMesh
+	Comm *simmpi.Comm
+	Pool *tasking.Pool
+	Cfg  Config
+	Cost CostModel
+	// Tracer records deterministic per-phase virtual time; may be nil.
+	Tracer *trace.RankTracer
+
+	A *la.CSRMatrix // momentum matrix (rebuilt each step)
+	L *la.CSRMatrix // pressure Laplacian (constant; Dirichlet-fixed)
+
+	U    [3][]float64 // velocity components at local nodes
+	Uold [3][]float64
+	P    []float64
+	SGS  []mesh.Vec3 // per local element subgrid velocity
+
+	mult      []float64 // 1 / (number of ranks sharing each local node)
+	inletLoc  []int32   // local nodes with inlet Dirichlet velocity
+	wallLoc   []int32   // local nodes with no-slip Dirichlet
+	outletLoc []int32   // local nodes with p = 0 Dirichlet
+	dirichlet []bool    // union mask for velocity BCs
+	isDirP    []bool    // pressure BC mask
+	tagSeq    int
+	numWeight float64 // sum of element cost weights (assembly work)
+	ownedNNZ  float64 // matrix nonzeros in owned rows (solver work)
+	scratch   sync.Pool
+	plan      *tasking.AssemblyPlan
+	sgsPlan   *tasking.AssemblyPlan
+	atomicMat *tasking.AtomicFloat64Slice
+	atomicVec *tasking.AtomicFloat64Slice
+	rhs       [3][]float64
+	prhs      []float64
+	gradScr   [3][]float64
+	lumped    []float64
+}
+
+// NewSolver builds the per-rank solver. All ranks of comm must call it
+// collectively with their own RankMesh from the same partition.
+func NewSolver(m *mesh.Mesh, rm *partition.RankMesh, comm *simmpi.Comm, pool *tasking.Pool, cfg Config, cost CostModel, tracer *trace.RankTracer) (*Solver, error) {
+	n := rm.NumLocalNodes()
+	s := &Solver{
+		M: m, RM: rm, Comm: comm, Pool: pool, Cfg: cfg, Cost: cost, Tracer: tracer,
+		P:    make([]float64, n),
+		SGS:  make([]mesh.Vec3, rm.NumElems()),
+		prhs: make([]float64, n),
+	}
+	for c := 0; c < 3; c++ {
+		s.U[c] = make([]float64, n)
+		s.Uold[c] = make([]float64, n)
+		s.rhs[c] = make([]float64, n)
+		s.gradScr[c] = make([]float64, n)
+	}
+	s.lumped = make([]float64, n)
+	s.scratch.New = func() any { return new(fem.Scratch) }
+
+	// Local node graph -> matrix patterns.
+	lists := make([][]int32, n)
+	for e := 0; e < rm.NumElems(); e++ {
+		nodes := rm.ElemNodesLocal(e)
+		for _, a := range nodes {
+			for _, b := range nodes {
+				if a != b {
+					lists[a] = append(lists[a], b)
+				}
+			}
+		}
+		s.numWeight += fem.CostWeight(rm.Kinds[e])
+	}
+	ng := graph.FromAdjacency(lists)
+	s.A = la.NewCSRFromGraph(ng)
+	s.L = la.NewCSRFromGraph(ng)
+	s.atomicMat = tasking.NewAtomicFloat64Slice(s.A.NNZ())
+	s.atomicVec = tasking.NewAtomicFloat64Slice(3 * n)
+
+	// Node multiplicity (for Dirichlet rows under halo summation).
+	shared := make([]int, n)
+	for _, h := range rm.Halos {
+		for _, ln := range h.Nodes {
+			shared[ln]++
+		}
+	}
+	s.mult = make([]float64, n)
+	for i := range s.mult {
+		s.mult[i] = 1 / float64(1+shared[i])
+	}
+	// Solver work accounting: each row's nonzeros, with shared rows split
+	// among the ranks computing them (multiplicity weighting).
+	for i := 0; i < n; i++ {
+		s.ownedNNZ += float64(s.A.Ptr[i+1]-s.A.Ptr[i]) * s.mult[i]
+	}
+
+	// Boundary node sets, localized.
+	s.dirichlet = make([]bool, n)
+	s.isDirP = make([]bool, n)
+	mark := func(globals []int32, dst *[]int32, mask []bool) {
+		for _, g := range globals {
+			if l := rm.LocalNode[g]; l >= 0 && !mask[l] {
+				mask[l] = true
+				*dst = append(*dst, l)
+			}
+		}
+	}
+	mark(m.WallNodes, &s.wallLoc, s.dirichlet)
+	mark(m.InletNodes, &s.inletLoc, s.dirichlet)
+	mark(m.OutletNodes, &s.outletLoc, s.isDirP)
+	// Inlet nodes that are also wall nodes keep the no-slip value; drop
+	// them from the inlet list.
+	wallSet := make(map[int32]bool, len(s.wallLoc))
+	for _, l := range s.wallLoc {
+		wallSet[l] = true
+	}
+	kept := s.inletLoc[:0]
+	for _, l := range s.inletLoc {
+		if !wallSet[l] {
+			kept = append(kept, l)
+		}
+	}
+	s.inletLoc = kept
+
+	// Assembly plans.
+	var err error
+	s.plan, err = s.buildPlan(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	s.sgsPlan, err = s.buildPlan(cfg.SGSStrategy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Constant pressure Laplacian with symmetric zero-Dirichlet rows.
+	s.assembleLaplacian()
+
+	return s, nil
+}
+
+// buildPlan constructs the tasking plan for a strategy over this rank's
+// elements, delegating to the core runtime layer (the paper's
+// contribution lives there, not in the numerical code).
+func (s *Solver) buildPlan(strategy tasking.Strategy) (*tasking.AssemblyPlan, error) {
+	return core.BuildPlan(s.RM, core.Options{
+		Strategy:          strategy,
+		Keying:            s.Cfg.Keying,
+		SubdomainsPerRank: s.Cfg.SubdomainsPerRank,
+	}, s.Pool.MaxWorkers())
+}
+
+// --- distributed vector primitives ---
+
+// nextTag returns a fresh message tag; every rank executes the same call
+// sequence, so tags match across peers.
+func (s *Solver) nextTag() int {
+	s.tagSeq++
+	return s.tagSeq
+}
+
+// haloSum adds, at every shared node, the partial contributions of all
+// sharing ranks, leaving x consistent across ranks.
+func (s *Solver) haloSum(x []float64) {
+	if len(s.RM.Halos) == 0 {
+		return
+	}
+	tag := s.nextTag()
+	// Snapshot partials first: with >2 ranks sharing a node, everyone
+	// must exchange original partials, not running sums.
+	for _, h := range s.RM.Halos {
+		buf := make([]float64, len(h.Nodes))
+		for i, ln := range h.Nodes {
+			buf[i] = x[ln]
+		}
+		s.Comm.Send(h.Peer, tag, buf)
+	}
+	for _, h := range s.RM.Halos {
+		buf := s.Comm.RecvFloat64s(h.Peer, tag)
+		for i, ln := range h.Nodes {
+			x[ln] += buf[i]
+		}
+	}
+}
+
+// dotOwned computes the global inner product over owned nodes.
+func (s *Solver) dotOwned(x, y []float64) float64 {
+	local := 0.0
+	for i, owned := range s.RM.Owned {
+		if owned {
+			local += x[i] * y[i]
+		}
+	}
+	return s.Comm.AllreduceFloat64(local, simmpi.OpSum)
+}
+
+// ops builds the distributed Krylov operations for matrix a.
+func (s *Solver) ops(a *la.CSRMatrix) la.Ops {
+	return la.Ops{
+		N: a.N,
+		MatVec: func(x, y []float64) {
+			a.MulVec(x, y)
+			s.haloSum(y)
+		},
+		Dot: s.dotOwned,
+	}
+}
+
+// advance records virtual time for a phase and aligns all ranks to the
+// slowest one (the bulk-synchronous phase barrier).
+func (s *Solver) advance(p trace.Phase, units float64) {
+	if s.Tracer == nil {
+		return
+	}
+	s.Tracer.Advance(p, units)
+	maxClock := s.Comm.AllreduceFloat64(s.Tracer.Clock(), simmpi.OpMax)
+	s.Tracer.AlignTo(maxClock)
+}

@@ -1,0 +1,335 @@
+package navierstokes
+
+import (
+	"fmt"
+
+	"repro/internal/fem"
+	"repro/internal/la"
+	"repro/internal/mesh"
+	"repro/internal/simmpi"
+	"repro/internal/tasking"
+	"repro/internal/trace"
+)
+
+// assembleLaplacian builds the constant pressure matrix with symmetric
+// zero-Dirichlet treatment at the outlet nodes (serial; runs once).
+func (s *Solver) assembleLaplacian() {
+	s.L.Zero()
+	scr := s.scratch.Get().(*fem.Scratch)
+	defer s.scratch.Put(scr)
+	for e := 0; e < s.RM.NumElems(); e++ {
+		kind := s.RM.Kinds[e]
+		nen := kind.NodesPerElem()
+		nodes := s.RM.ElemNodesLocal(e)
+		for i, ln := range nodes {
+			scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+		}
+		fem.LaplacianElement(kind, nen, scr)
+		for a := 0; a < nen; a++ {
+			for b := 0; b < nen; b++ {
+				s.L.Add(nodes[a], nodes[b], scr.Ke[a*nen+b])
+			}
+		}
+	}
+	// Symmetric zero-Dirichlet: zero rows and columns of outlet nodes,
+	// then set their diagonals to 1/multiplicity (halo-sum -> identity).
+	for _, ln := range s.outletLoc {
+		s.L.SetDirichletRow(ln)
+	}
+	for i := 0; i < s.L.N; i++ {
+		for k := s.L.Ptr[i]; k < s.L.Ptr[i+1]; k++ {
+			j := s.L.Col[k]
+			if s.isDirP[j] && j != int32(i) {
+				s.L.Val[k] = 0
+			}
+		}
+	}
+	for _, ln := range s.outletLoc {
+		if k := s.L.Find(ln, ln); k >= 0 {
+			s.L.Val[k] = s.mult[ln]
+		}
+	}
+}
+
+// assembleMomentum rebuilds the momentum matrix and the three RHS vectors
+// with the configured strategy, then applies halo sums and boundary
+// conditions.
+func (s *Solver) assembleMomentum() error {
+	n := s.RM.NumLocalNodes()
+	s.A.Zero()
+	for c := 0; c < 3; c++ {
+		la.Fill(s.rhs[c], 0)
+	}
+
+	kernel := func(e int, sc *tasking.Scatter) {
+		scr := s.scratch.Get().(*fem.Scratch)
+		kind := s.RM.Kinds[e]
+		nen := kind.NodesPerElem()
+		nodes := s.RM.ElemNodesLocal(e)
+		for i, ln := range nodes {
+			scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+			uc := mesh.Vec3{X: s.Uold[0][ln], Y: s.Uold[1][ln], Z: s.Uold[2][ln]}
+			scr.UOld3[i] = uc
+			// VMS convection: resolved velocity + element subgrid part.
+			scr.UConv[i] = uc.Add(s.SGS[e])
+		}
+		fem.MomentumElement3(kind, nen, s.Cfg.Props, scr)
+		for a := 0; a < nen; a++ {
+			ra := nodes[a]
+			for b := 0; b < nen; b++ {
+				sc.AddMat(ra, nodes[b], scr.Ke[a*nen+b])
+			}
+			sc.AddVec(ra, scr.Fe3[0][a])
+			sc.AddVec(int32(n)+ra, scr.Fe3[1][a])
+			sc.AddVec(2*int32(n)+ra, scr.Fe3[2][a])
+		}
+		s.scratch.Put(scr)
+	}
+
+	plain := &tasking.Scatter{
+		AddMat: func(i, j int32, v float64) { s.A.Add(i, j, v) },
+		AddVec: func(i int32, v float64) {
+			c := int(i) / n
+			s.rhs[c][int(i)%n] += v
+		},
+	}
+	var atomicS *tasking.Scatter
+	if s.plan.Strategy == tasking.StrategyAtomic {
+		s.atomicMat.Zero()
+		s.atomicVec.Zero()
+		atomicS = &tasking.Scatter{
+			AddMat: func(i, j int32, v float64) {
+				k := s.A.Find(i, j)
+				s.atomicMat.Add(k, v)
+			},
+			AddVec: func(i int32, v float64) { s.atomicVec.Add(int(i), v) },
+		}
+	}
+	if err := tasking.Assemble(s.Pool, s.plan, kernel, plain, atomicS); err != nil {
+		return err
+	}
+	if s.plan.Strategy == tasking.StrategyAtomic {
+		s.atomicMat.CopyTo(s.A.Val)
+		for c := 0; c < 3; c++ {
+			for i := 0; i < n; i++ {
+				s.rhs[c][i] = s.atomicVec.Load(c*n + i)
+			}
+		}
+	}
+
+	// Consistent RHS across ranks, then Dirichlet velocity rows.
+	for c := 0; c < 3; c++ {
+		s.haloSum(s.rhs[c])
+	}
+	inlet := [3]float64{s.Cfg.InletVelocity.X, s.Cfg.InletVelocity.Y, s.Cfg.InletVelocity.Z}
+	applyRow := func(ln int32, val [3]float64) {
+		s.A.SetDirichletRow(ln)
+		if k := s.A.Find(ln, ln); k >= 0 {
+			s.A.Val[k] = s.mult[ln]
+		}
+		for c := 0; c < 3; c++ {
+			s.rhs[c][ln] = val[c]
+			s.U[c][ln] = val[c]
+		}
+	}
+	for _, ln := range s.wallLoc {
+		applyRow(ln, [3]float64{})
+	}
+	for _, ln := range s.inletLoc {
+		applyRow(ln, inlet)
+	}
+	return nil
+}
+
+// Step advances the flow one time step through the four profiled phases.
+func (s *Solver) Step() (StepStats, error) {
+	var stats StepStats
+	for c := 0; c < 3; c++ {
+		copy(s.Uold[c], s.U[c])
+	}
+
+	// --- Phase: matrix assembly ---
+	if err := s.assembleMomentum(); err != nil {
+		return stats, err
+	}
+	s.advance(trace.PhaseAssembly, s.numWeight*s.Cost.AssemblyUnit)
+
+	// --- Phase: Solver1 (momentum, one BiCGSTAB per component) ---
+	diag := make([]float64, s.A.N)
+	s.A.Diagonal(diag)
+	s.haloSum(diag)
+	precond := la.JacobiPreconditioner(diag)
+	totalIters := 0
+	for c := 0; c < 3; c++ {
+		st, err := la.BiCGSTAB(s.ops(s.A), precond, s.rhs[c], s.U[c], s.Cfg.TolMomentum, s.Cfg.MaxIterMomentum)
+		if err != nil && err != la.ErrBreakdown {
+			return stats, fmt.Errorf("navierstokes: momentum solve: %w", err)
+		}
+		totalIters += st.Iterations
+		if st.Residual > stats.MomentumRes {
+			stats.MomentumRes = st.Residual
+		}
+	}
+	stats.MomentumIters = totalIters
+	s.advance(trace.PhaseSolver1, float64(totalIters)*s.ownedNNZ*s.Cost.SolverUnit)
+
+	// --- Phase: Solver2 (continuity / pressure Poisson) ---
+	s.assemblePressureRHS()
+	ldiag := make([]float64, s.L.N)
+	s.L.Diagonal(ldiag)
+	s.haloSum(ldiag)
+	pst, err := la.PCG(s.ops(s.L), la.JacobiPreconditioner(ldiag), s.prhs, s.P, s.Cfg.TolPressure, s.Cfg.MaxIterPressure)
+	if err != nil && err != la.ErrBreakdown {
+		return stats, fmt.Errorf("navierstokes: pressure solve: %w", err)
+	}
+	stats.PressureIters = pst.Iterations
+	stats.PressureRes = pst.Residual
+	s.advance(trace.PhaseSolver2, float64(pst.Iterations)*s.ownedNNZ*s.Cost.solver2Unit())
+
+	// Velocity correction (projection), accounted as "other".
+	s.correctVelocity()
+	s.advance(trace.PhaseOther, 0.05*s.numWeight*s.Cost.AssemblyUnit)
+
+	// --- Phase: SGS (subgrid-scale vector) ---
+	if err := s.updateSGS(); err != nil {
+		return stats, err
+	}
+	s.advance(trace.PhaseSGS, s.numWeight*s.Cost.SGSUnit)
+
+	return stats, nil
+}
+
+// AssembleMomentumForBenchmark exposes the assembly phase alone so that
+// host-native benchmarks can race the strategies on real hardware.
+func (s *Solver) AssembleMomentumForBenchmark() error {
+	return s.assembleMomentum()
+}
+
+// assemblePressureRHS computes -(rho/dt) * div(u*) weakly (serial loop;
+// its cost is accounted inside Solver2 as in the paper's phase split).
+func (s *Solver) assemblePressureRHS() {
+	la.Fill(s.prhs, 0)
+	scr := s.scratch.Get().(*fem.Scratch)
+	defer s.scratch.Put(scr)
+	for e := 0; e < s.RM.NumElems(); e++ {
+		kind := s.RM.Kinds[e]
+		nen := kind.NodesPerElem()
+		nodes := s.RM.ElemNodesLocal(e)
+		for i, ln := range nodes {
+			scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+			scr.UConv[i] = mesh.Vec3{X: s.U[0][ln], Y: s.U[1][ln], Z: s.U[2][ln]}
+		}
+		fem.DivergenceRHS(kind, nen, s.Cfg.Props, scr)
+		for a, ln := range nodes {
+			s.prhs[ln] += scr.Fe[a]
+		}
+	}
+	s.haloSum(s.prhs)
+	for _, ln := range s.outletLoc {
+		s.prhs[ln] = 0
+	}
+}
+
+// correctVelocity projects the velocity with the nodal pressure gradient:
+// u <- u - (dt/rho) grad p, using a lumped-volume nodal gradient.
+func (s *Solver) correctVelocity() {
+	n := s.RM.NumLocalNodes()
+	for c := 0; c < 3; c++ {
+		la.Fill(s.gradScr[c], 0)
+	}
+	la.Fill(s.lumped, 0)
+	scr := s.scratch.Get().(*fem.Scratch)
+	for e := 0; e < s.RM.NumElems(); e++ {
+		kind := s.RM.Kinds[e]
+		nen := kind.NodesPerElem()
+		nodes := s.RM.ElemNodesLocal(e)
+		for i, ln := range nodes {
+			scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+		}
+		basis := fem.BasisFor(kind)
+		for q := range basis.QP {
+			qp := &basis.QP[q]
+			det := fem.Jacobian(qp, nen, scr.Coords[:], &scr.GradN)
+			w := qp.W * abs(det)
+			var gp [3]float64
+			for a, ln := range nodes {
+				for c := 0; c < 3; c++ {
+					gp[c] += scr.GradN[a][c] * s.P[ln]
+				}
+			}
+			for a, ln := range nodes {
+				wa := w * qp.N[a]
+				s.lumped[ln] += wa
+				for c := 0; c < 3; c++ {
+					s.gradScr[c][ln] += wa * gp[c]
+				}
+			}
+		}
+	}
+	s.scratch.Put(scr)
+	for c := 0; c < 3; c++ {
+		s.haloSum(s.gradScr[c])
+	}
+	s.haloSum(s.lumped)
+	dtRho := s.Cfg.Props.Dt / s.Cfg.Props.Rho
+	for i := 0; i < n; i++ {
+		if s.dirichlet[i] || s.lumped[i] == 0 {
+			continue
+		}
+		inv := 1 / s.lumped[i]
+		for c := 0; c < 3; c++ {
+			s.U[c][i] -= dtRho * s.gradScr[c][i] * inv
+		}
+	}
+}
+
+// updateSGS recomputes the per-element subgrid-scale velocity with the
+// configured SGS strategy. No shared structure is updated — each element
+// owns its slot — so the "atomic" label executes no atomics (the paper's
+// point in Figure 7).
+func (s *Solver) updateSGS() error {
+	kernel := func(e int, _ *tasking.Scatter) {
+		scr := s.scratch.Get().(*fem.Scratch)
+		kind := s.RM.Kinds[e]
+		nen := kind.NodesPerElem()
+		nodes := s.RM.ElemNodesLocal(e)
+		for i, ln := range nodes {
+			scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+			scr.UConv[i] = mesh.Vec3{X: s.U[0][ln], Y: s.U[1][ln], Z: s.U[2][ln]}
+		}
+		s.SGS[e] = fem.SGSElement(kind, nen, s.Cfg.Props, scr)
+		s.scratch.Put(scr)
+	}
+	noop := &tasking.Scatter{AddMat: func(int32, int32, float64) {}, AddVec: func(int32, float64) {}}
+	return tasking.Assemble(s.Pool, s.sgsPlan, kernel, noop, noop)
+}
+
+// VelocityAt returns the nodal velocity of a global node id owned or
+// shared by this rank (zero vector otherwise); this is the field the
+// particle tracker samples.
+func (s *Solver) VelocityAt(global int32) mesh.Vec3 {
+	ln := s.RM.LocalNode[global]
+	if ln < 0 {
+		return mesh.Vec3{}
+	}
+	return mesh.Vec3{X: s.U[0][ln], Y: s.U[1][ln], Z: s.U[2][ln]}
+}
+
+// MaxVelocity reports the global maximum velocity magnitude (diagnostic).
+func (s *Solver) MaxVelocity() float64 {
+	local := 0.0
+	for i := range s.U[0] {
+		v := mesh.Vec3{X: s.U[0][i], Y: s.U[1][i], Z: s.U[2][i]}.Norm()
+		if v > local {
+			local = v
+		}
+	}
+	return s.Comm.AllreduceFloat64(local, simmpi.OpMax)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,75 @@
+package particles
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/partition"
+	"repro/internal/simmpi"
+)
+
+func TestInjectAtInletCollectiveNoDuplicates(t *testing.T) {
+	m := airway(t, 1)
+	dual := m.DualByNode()
+	const ranks = 3
+	p, err := partition.KWay(dual, nil, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := make([][]int32, ranks)
+	for e, part := range p.Parts {
+		elems[part] = append(elems[part], int32(e))
+	}
+	world, err := simmpi.NewWorld(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	adopted := make([]int, ranks)
+	ids := make([][]int64, ranks)
+	err = world.Run(func(r *simmpi.Rank) {
+		tr := NewTracker(m, elems[r.ID()], aerosol(), AirAt20C())
+		adopted[r.ID()] = InjectAtInletCollective(r.Comm, tr, n, 9, mesh.Vec3{Z: -1})
+		for _, pp := range tr.Active {
+			ids[r.ID()] = append(ids[r.ID()], pp.ID)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := adopted[0] + adopted[1] + adopted[2]
+	if total > n {
+		t.Fatalf("adopted %d > requested %d: duplicates", total, n)
+	}
+	if total < n/2 {
+		t.Fatalf("adopted only %d of %d", total, n)
+	}
+	// No particle ID appears on two ranks.
+	seen := map[int64]int{}
+	for r, list := range ids {
+		for _, id := range list {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("particle %d adopted by ranks %d and %d", id, prev, r)
+			}
+			seen[id] = r
+		}
+	}
+}
+
+func TestInjectCollectiveSingleRankMatchesLocal(t *testing.T) {
+	// With one rank, collective injection equals local injection.
+	m := airway(t, 0)
+	world, _ := simmpi.NewWorld(1)
+	var collective int
+	err := world.Run(func(r *simmpi.Rank) {
+		tr := NewTracker(m, nil, aerosol(), AirAt20C())
+		collective = InjectAtInletCollective(r.Comm, tr, 200, 4, mesh.Vec3{Z: -1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := NewTracker(m, nil, aerosol(), AirAt20C()).InjectAtInlet(200, 4, mesh.Vec3{Z: -1})
+	if collective != local {
+		t.Fatalf("collective %d != local %d on one rank", collective, local)
+	}
+}

@@ -1,0 +1,193 @@
+package particles
+
+import (
+	"math"
+
+	"repro/internal/mesh"
+)
+
+// Locator finds the mesh element containing a point, restricted to a
+// subset of elements (an MPI rank's subdomain). It uses a uniform spatial
+// hash over element bounding boxes plus exact point-in-tetrahedron tests
+// on each element's tet decomposition.
+type Locator struct {
+	m     *mesh.Mesh
+	elems []int32 // element subset (global ids)
+
+	origin  mesh.Vec3
+	cell    float64
+	nx, ny  int
+	nz      int
+	buckets map[int][]int32
+	tol     float64
+}
+
+// NewLocator builds a locator over the given elements of m; pass nil to
+// cover the whole mesh. cellsPerAxis controls grid resolution (16-64 is
+// reasonable; it is clamped to at least 4).
+func NewLocator(m *mesh.Mesh, elems []int32, cellsPerAxis int) *Locator {
+	if elems == nil {
+		elems = make([]int32, m.NumElems())
+		for i := range elems {
+			elems[i] = int32(i)
+		}
+	}
+	if cellsPerAxis < 4 {
+		cellsPerAxis = 4
+	}
+	lo, hi := m.BoundingBox()
+	span := math.Max(hi.X-lo.X, math.Max(hi.Y-lo.Y, hi.Z-lo.Z))
+	if span == 0 {
+		span = 1
+	}
+	l := &Locator{
+		m:       m,
+		elems:   elems,
+		origin:  lo,
+		cell:    span / float64(cellsPerAxis),
+		buckets: make(map[int][]int32),
+		tol:     1e-9 * span,
+	}
+	l.nx = int((hi.X-lo.X)/l.cell) + 2
+	l.ny = int((hi.Y-lo.Y)/l.cell) + 2
+	l.nz = int((hi.Z-lo.Z)/l.cell) + 2
+	for _, e := range elems {
+		elo, ehi := l.elemBox(int(e))
+		l.forCells(elo, ehi, func(key int) {
+			l.buckets[key] = append(l.buckets[key], e)
+		})
+	}
+	return l
+}
+
+func (l *Locator) elemBox(e int) (lo, hi mesh.Vec3) {
+	nodes := l.m.ElemNodes(e)
+	lo = l.m.Coords[nodes[0]]
+	hi = lo
+	for _, nd := range nodes[1:] {
+		p := l.m.Coords[nd]
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		lo.Z = math.Min(lo.Z, p.Z)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+		hi.Z = math.Max(hi.Z, p.Z)
+	}
+	return lo, hi
+}
+
+func (l *Locator) cellIndex(p mesh.Vec3) (ix, iy, iz int) {
+	ix = int((p.X - l.origin.X) / l.cell)
+	iy = int((p.Y - l.origin.Y) / l.cell)
+	iz = int((p.Z - l.origin.Z) / l.cell)
+	return
+}
+
+func (l *Locator) key(ix, iy, iz int) int {
+	return (iz*l.ny+iy)*l.nx + ix
+}
+
+func (l *Locator) forCells(lo, hi mesh.Vec3, fn func(key int)) {
+	x0, y0, z0 := l.cellIndex(lo)
+	x1, y1, z1 := l.cellIndex(hi)
+	for z := z0; z <= z1; z++ {
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				fn(l.key(x, y, z))
+			}
+		}
+	}
+}
+
+// pointInTet tests p against the tet (a,b,c,d) with tolerance, using
+// signed volumes.
+func pointInTet(p, a, b, c, d mesh.Vec3, tol float64) bool {
+	v := func(p0, p1, p2, p3 mesh.Vec3) float64 {
+		return p1.Sub(p0).Cross(p2.Sub(p0)).Dot(p3.Sub(p0))
+	}
+	whole := v(a, b, c, d)
+	if whole == 0 {
+		return false
+	}
+	sign := 1.0
+	if whole < 0 {
+		sign = -1.0
+	}
+	eps := -tol * math.Abs(whole)
+	return sign*v(p, b, c, d) >= eps &&
+		sign*v(a, p, c, d) >= eps &&
+		sign*v(a, b, p, d) >= eps &&
+		sign*v(a, b, c, p) >= eps
+}
+
+// Contains tests whether element e contains point p.
+func (l *Locator) Contains(e int, p mesh.Vec3) bool {
+	var scratch [3][4]int32
+	tets := l.m.TetDecomposition(e, scratch[:0])
+	for _, t := range tets {
+		if pointInTet(p,
+			l.m.Coords[t[0]], l.m.Coords[t[1]], l.m.Coords[t[2]], l.m.Coords[t[3]], 1e-9) {
+			return true
+		}
+	}
+	return false
+}
+
+// Locate finds an element containing p. hint (an element id or -1) is
+// tested first along with its cell neighborhood, making the common case —
+// a particle staying in or near its previous element — cheap.
+func (l *Locator) Locate(p mesh.Vec3, hint int32) (int32, bool) {
+	if hint >= 0 && l.Contains(int(hint), p) {
+		return hint, true
+	}
+	ix, iy, iz := l.cellIndex(p)
+	if ix < 0 || iy < 0 || iz < 0 || ix >= l.nx || iy >= l.ny || iz >= l.nz {
+		return -1, false
+	}
+	for _, e := range l.buckets[l.key(ix, iy, iz)] {
+		if l.Contains(int(e), p) {
+			return e, true
+		}
+	}
+	// Check the 26-cell neighborhood: bounding boxes straddle cells.
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				x, y, z := ix+dx, iy+dy, iz+dz
+				if x < 0 || y < 0 || z < 0 || x >= l.nx || y >= l.ny || z >= l.nz {
+					continue
+				}
+				for _, e := range l.buckets[l.key(x, y, z)] {
+					if l.Contains(int(e), p) {
+						return e, true
+					}
+				}
+			}
+		}
+	}
+	return -1, false
+}
+
+// InterpolateIDW evaluates a nodal vector field at p inside element e by
+// inverse-distance weighting over the element's nodes. field maps a
+// global node id to a vector. IDW is exact at nodes, continuous inside
+// the element, and avoids the reference-coordinate inversion that general
+// hybrid elements would need.
+func (l *Locator) InterpolateIDW(e int, p mesh.Vec3, field func(node int32) mesh.Vec3) mesh.Vec3 {
+	nodes := l.m.ElemNodes(e)
+	var acc mesh.Vec3
+	wsum := 0.0
+	for _, nd := range nodes {
+		d := p.Sub(l.m.Coords[nd]).Norm()
+		if d < l.tol {
+			return field(nd)
+		}
+		w := 1 / (d * d)
+		acc = acc.Add(field(nd).Scale(w))
+		wsum += w
+	}
+	return acc.Scale(1 / wsum)
+}

@@ -1,0 +1,140 @@
+package particles
+
+import (
+	"sort"
+
+	"repro/internal/mesh"
+	"repro/internal/simmpi"
+)
+
+// InjectAtInletCollective injects n particles across all the ranks of
+// comm, each adopted by exactly one rank: every rank generates the same
+// deterministic candidate sequence, claims the candidates it can locate,
+// and an allgather resolves ties to the lowest-ranked claimant (subdomain
+// geometries can overlap at junction sleeves and transition rings).
+// All ranks must call it collectively; each returns its own adoption
+// count.
+func InjectAtInletCollective(comm *simmpi.Comm, t *Tracker, n int, seed int64, vel mesh.Vec3) int {
+	cands := t.inletCandidates(n, seed, vel)
+	elems := make([]int32, len(cands))
+	var claims []int32
+	for i, pos := range cands {
+		if e, ok := t.Loc.Locate(pos, -1); ok {
+			claims = append(claims, int32(i))
+			elems[i] = e
+		} else {
+			elems[i] = -1
+		}
+	}
+	all := comm.AllgatherInt32s(claims)
+	winner := make([]int32, len(cands))
+	for i := range winner {
+		winner[i] = -1
+	}
+	for r := len(all) - 1; r >= 0; r-- { // lower ranks overwrite higher
+		for _, idx := range all[r] {
+			winner[idx] = int32(r)
+		}
+	}
+	me := int32(comm.Rank())
+	adopted := 0
+	for i, pos := range cands {
+		if winner[i] == me {
+			t.adopt(i, pos, vel, elems[i], seed)
+			adopted++
+		}
+	}
+	t.nextID = int64(n) + seed<<20
+	return adopted
+}
+
+// MigrationStats reports one migration round.
+type MigrationStats struct {
+	SentOut   int // particles handed to a neighboring rank
+	Received  int // particles adopted from neighbors
+	Finalized int // particles nobody claimed (deposited or exited)
+}
+
+// Migrate exchanges lost particles with neighboring ranks using a
+// three-phase claim protocol that guarantees each particle is adopted by
+// exactly one rank (the lowest-ranked claimant) or finalized by its
+// origin:
+//
+//  1. every rank sends its lost particles' positions to all neighbors;
+//  2. every neighbor replies with the indices it can host;
+//  3. the origin assigns each particle to the lowest claiming rank and
+//     sends the definitive transfers.
+//
+// All ranks owning a tracker must call Migrate collectively with
+// symmetric peer lists (comm ranks). tagBase reserves three tags.
+func Migrate(comm *simmpi.Comm, t *Tracker, peers []int, tagBase int) MigrationStats {
+	const (
+		offCand  = 0
+		offClaim = 1
+		offXfer  = 2
+	)
+	var stats MigrationStats
+	lost := t.TakeLost()
+	sorted := append([]int(nil), peers...)
+	sort.Ints(sorted)
+
+	// Phase 1: broadcast candidates (positions piggyback full state).
+	cand := encodeParticles(lost)
+	for _, p := range sorted {
+		comm.SendFloat64s(p, tagBase+offCand, cand)
+	}
+
+	// Phase 2: evaluate neighbors' candidates, reply with claimable
+	// indices.
+	foreign := make(map[int][]Particle, len(sorted))
+	for _, p := range sorted {
+		ps := decodeParticles(comm.RecvFloat64s(p, tagBase+offCand))
+		foreign[p] = ps
+		var claims []int32
+		for i := range ps {
+			if _, ok := t.Loc.Locate(ps[i].Pos, -1); ok {
+				claims = append(claims, int32(i))
+			}
+		}
+		comm.SendInt32s(p, tagBase+offClaim, claims)
+	}
+
+	// Phase 3a: collect claims on our lost particles and assign each to
+	// the lowest-ranked claimant.
+	assignee := make([]int, len(lost))
+	for i := range assignee {
+		assignee[i] = -1
+	}
+	for _, p := range sorted {
+		claims := comm.RecvInt32s(p, tagBase+offClaim)
+		for _, idx := range claims {
+			if assignee[idx] == -1 || p < assignee[idx] {
+				assignee[idx] = p
+			}
+		}
+	}
+	// Phase 3b: send definitive transfers per peer; finalize unclaimed.
+	perPeer := make(map[int][]Particle, len(sorted))
+	var unclaimed []Particle
+	for i, p := range lost {
+		if a := assignee[i]; a >= 0 {
+			perPeer[a] = append(perPeer[a], p)
+			stats.SentOut++
+		} else {
+			unclaimed = append(unclaimed, p)
+		}
+	}
+	for _, p := range sorted {
+		comm.SendFloat64s(p, tagBase+offXfer, encodeParticles(perPeer[p]))
+	}
+	t.Finalize(unclaimed)
+	stats.Finalized = len(unclaimed)
+
+	// Phase 3c: adopt definitive transfers.
+	for _, p := range sorted {
+		ps := decodeParticles(comm.RecvFloat64s(p, tagBase+offXfer))
+		stats.Received += t.Absorb(ps)
+		_ = foreign
+	}
+	return stats
+}

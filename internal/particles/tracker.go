@@ -1,0 +1,231 @@
+package particles
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mesh"
+)
+
+// State classifies a particle's fate.
+type State uint8
+
+// Particle states.
+const (
+	Active    State = iota // advancing through the domain
+	Lost                   // left the local subdomain; candidate for migration
+	Deposited              // hit the airway wall (the clinically relevant outcome)
+	Exited                 // left through an outlet (reached the deep lung)
+)
+
+// Particle is one Lagrangian particle.
+type Particle struct {
+	ID int64
+	NewmarkState
+	Elem int32 // containing element (global id), -1 if unknown
+}
+
+// Tracker advances the particles living in one subdomain (or the whole
+// mesh when elems is nil).
+type Tracker struct {
+	Mesh    *mesh.Mesh
+	Loc     *Locator
+	Fluid   FluidProps
+	Species Props
+
+	Active []Particle
+	lost   []Particle
+
+	// Fate counters.
+	DepositedCount int
+	ExitedCount    int
+
+	// WorkUnits counts particle-steps performed — the per-rank load of
+	// the particle phase used for Table 1's Ln accounting.
+	WorkUnits int64
+
+	outletZ float64 // particles lost below this height exited, not deposited
+	nextID  int64
+}
+
+// NewTracker builds a tracker over the given element subset of m
+// (nil = whole mesh).
+func NewTracker(m *mesh.Mesh, elems []int32, species Props, fluid FluidProps) *Tracker {
+	t := &Tracker{
+		Mesh:    m,
+		Loc:     NewLocator(m, elems, 32),
+		Fluid:   fluid,
+		Species: species,
+		outletZ: math.Inf(-1),
+	}
+	if len(m.OutletNodes) > 0 {
+		z := 0.0
+		for _, nd := range m.OutletNodes {
+			z += m.Coords[nd].Z
+		}
+		t.outletZ = z/float64(len(m.OutletNodes)) + 1e-9
+	}
+	return t
+}
+
+// inletCandidates generates the deterministic injection positions for a
+// given (n, seed): the same sequence on every rank.
+func (t *Tracker) inletCandidates(n int, seed int64, vel mesh.Vec3) []mesh.Vec3 {
+	inlet := t.Mesh.InletNodes
+	if len(inlet) == 0 {
+		return nil
+	}
+	var centroid mesh.Vec3
+	for _, nd := range inlet {
+		centroid = centroid.Add(t.Mesh.Coords[nd])
+	}
+	centroid = centroid.Scale(1 / float64(len(inlet)))
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]mesh.Vec3, 0, n)
+	for i := 0; i < n; i++ {
+		// Random convex combination of a random inlet node and the
+		// centroid, pushed slightly inward along the initial velocity.
+		nd := inlet[rng.Intn(len(inlet))]
+		a := 0.15 + 0.7*rng.Float64()
+		pos := t.Mesh.Coords[nd].Scale(1 - a).Add(centroid.Scale(a))
+		if vn := vel.Norm(); vn > 0 {
+			pos = pos.Add(vel.Scale(1e-6 / vn))
+		}
+		out = append(out, pos)
+	}
+	return out
+}
+
+func (t *Tracker) adopt(i int, pos mesh.Vec3, vel mesh.Vec3, elem int32, seed int64) {
+	t.Active = append(t.Active, Particle{
+		ID:           int64(i) + seed<<20,
+		NewmarkState: NewmarkState{Pos: pos, Vel: vel},
+		Elem:         elem,
+	})
+}
+
+// InjectAtInlet seeds n particles on the inlet cross-section with the
+// given initial velocity, jittered deterministically by seed. Particles
+// that cannot be located in this tracker's subdomain are discarded (they
+// belong to another rank); the number actually adopted is returned.
+// In distributed runs use InjectAtInletCollective, which guarantees each
+// particle is adopted by exactly one rank even where subdomain geometry
+// overlaps.
+func (t *Tracker) InjectAtInlet(n int, seed int64, vel mesh.Vec3) int {
+	adopted := 0
+	for i, pos := range t.inletCandidates(n, seed, vel) {
+		elem, ok := t.Loc.Locate(pos, -1)
+		if !ok {
+			continue
+		}
+		t.adopt(i, pos, vel, elem, seed)
+		adopted++
+	}
+	t.nextID = int64(n) + seed<<20
+	return adopted
+}
+
+// Step advances every active particle by dt through the nodal velocity
+// field (global node id -> fluid velocity). Particles that leave the
+// subdomain move to the lost list; call TakeLost / Absorb (or Migrate)
+// afterwards.
+func (t *Tracker) Step(dt float64, velField func(node int32) mesh.Vec3) {
+	kept := t.Active[:0]
+	for i := range t.Active {
+		p := t.Active[i]
+		uf := t.Loc.InterpolateIDW(int(p.Elem), p.Pos, velField)
+		NewmarkStep(&p.NewmarkState, t.Fluid, t.Species, uf, dt)
+		t.WorkUnits++
+		elem, ok := t.Loc.Locate(p.Pos, p.Elem)
+		if ok {
+			p.Elem = elem
+			kept = append(kept, p)
+			continue
+		}
+		p.Elem = -1
+		t.lost = append(t.lost, p)
+	}
+	t.Active = kept
+}
+
+// TakeLost returns and clears the particles that left the subdomain this
+// step.
+func (t *Tracker) TakeLost() []Particle {
+	l := t.lost
+	t.lost = nil
+	return l
+}
+
+// Absorb tries to adopt foreign particles into this subdomain; it returns
+// how many were adopted. Unlocatable particles are ignored (the sender
+// keeps responsibility for their fate).
+func (t *Tracker) Absorb(ps []Particle) int {
+	adopted := 0
+	for _, p := range ps {
+		if elem, ok := t.Loc.Locate(p.Pos, -1); ok {
+			p.Elem = elem
+			t.Active = append(t.Active, p)
+			adopted++
+		}
+	}
+	return adopted
+}
+
+// Finalize classifies particles nobody could adopt: below the outlet
+// plane they exited the bronchial tree, otherwise they deposited on the
+// airway wall.
+func (t *Tracker) Finalize(unclaimed []Particle) {
+	for _, p := range unclaimed {
+		if p.Pos.Z <= t.outletZ {
+			t.ExitedCount++
+		} else {
+			t.DepositedCount++
+		}
+	}
+}
+
+// Counts summarizes the tracker population.
+func (t *Tracker) Counts() (active, deposited, exited int) {
+	return len(t.Active), t.DepositedCount, t.ExitedCount
+}
+
+// String describes the tracker state.
+func (t *Tracker) String() string {
+	return fmt.Sprintf("tracker{active=%d lost=%d deposited=%d exited=%d work=%d}",
+		len(t.Active), len(t.lost), t.DepositedCount, t.ExitedCount, t.WorkUnits)
+}
+
+// encodeParticles flattens particles for transport (10 float64 each:
+// id, pos, vel, acc).
+func encodeParticles(ps []Particle) []float64 {
+	out := make([]float64, 0, len(ps)*10)
+	for _, p := range ps {
+		out = append(out,
+			float64(p.ID),
+			p.Pos.X, p.Pos.Y, p.Pos.Z,
+			p.Vel.X, p.Vel.Y, p.Vel.Z,
+			p.Acc.X, p.Acc.Y, p.Acc.Z,
+		)
+	}
+	return out
+}
+
+// decodeParticles reverses encodeParticles.
+func decodeParticles(data []float64) []Particle {
+	n := len(data) / 10
+	out := make([]Particle, 0, n)
+	for i := 0; i < n; i++ {
+		d := data[i*10:]
+		out = append(out, Particle{
+			ID: int64(d[0]),
+			NewmarkState: NewmarkState{
+				Pos: mesh.Vec3{X: d[1], Y: d[2], Z: d[3]},
+				Vel: mesh.Vec3{X: d[4], Y: d[5], Z: d[6]},
+				Acc: mesh.Vec3{X: d[7], Y: d[8], Z: d[9]},
+			},
+			Elem: -1,
+		})
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/tasking"
+)
+
+// Table 1 phase shares (percent of step time) used to calibrate the
+// relative magnitude of solver, SGS and particle work against the
+// assembly distribution.
+const (
+	shareAssembly  = 40.84
+	shareSolver1   = 16.13
+	shareSolver2   = 4.20
+	shareSGS       = 21.43
+	shareParticles = 3.37 // at 4e5 particles
+)
+
+// tasksPerRank is the multidependences subdomain count per rank used by
+// the model (the paper partitions each rank into a fixed small number of
+// Metis subdomains).
+const tasksPerRank = 343
+
+// HybridConfig is one MPI x OpenMP configuration of Figures 6-7.
+type HybridConfig struct {
+	Ranks, Threads int
+}
+
+// Label renders the paper's "ranks x threads" axis label.
+func (c HybridConfig) Label() string { return fmt.Sprintf("%dx%d", c.Ranks, c.Threads) }
+
+// ConfigsFor returns the paper's three hybrid combinations for a
+// platform: total cores with 1, 2 and 4 threads per process.
+func ConfigsFor(p arch.Profile) []HybridConfig {
+	c := p.TotalCores()
+	return []HybridConfig{{c, 1}, {c / 2, 2}, {c / 4, 4}}
+}
+
+// StrategySeries is the modeled speedup of one strategy across configs.
+type StrategySeries struct {
+	Strategy tasking.Strategy
+	Labels   []string
+	Speedups []float64
+}
+
+// assemblyRankTime models the assembly-phase time of one rank under a
+// strategy with the given thread count.
+func assemblyRankTime(p arch.Profile, rw *RankWork, r, threads int, strategy tasking.Strategy, keying tasking.MutexKeying) float64 {
+	work := rw.Assembly[r]
+	t := float64(threads)
+	switch strategy {
+	case tasking.StrategySerial:
+		return work
+	case tasking.StrategyAtomic:
+		return work*p.AtomicFactor()/t + p.LoopOverhead
+	case tasking.StrategyColoring:
+		total := 0.0
+		for _, cw := range rw.Colors[r].ColorWork {
+			total += cw*p.ColoringLocalityFactor/t + p.LoopOverhead
+		}
+		return total
+	case tasking.StrategyMultidep:
+		ts := rw.Tasks[r]
+		scaled := make([]float64, len(ts.Durations))
+		for i, d := range ts.Durations {
+			scaled[i] = d*p.MultidepFactor() + p.TaskOverhead
+		}
+		conflicts := ConflictPairs(ts.Adj, keying)
+		return ScheduleMutex(scaled, conflicts, threads)
+	}
+	return work
+}
+
+// sgsRankTime models the SGS-phase time of one rank: no scattered
+// reduction exists, so the "Atomics" label runs a plain parallel loop and
+// coloring/multidep pay only their structural overheads (paper: < 10%).
+func sgsRankTime(p arch.Profile, rw *RankWork, r, threads int, strategy tasking.Strategy) float64 {
+	work := rw.SGS[r] * sgsShareFactor(rw)
+	t := float64(threads)
+	switch strategy {
+	case tasking.StrategySerial:
+		return work
+	case tasking.StrategyAtomic:
+		return work/t + p.LoopOverhead
+	case tasking.StrategyColoring:
+		total := 0.0
+		sum := Sum(rw.Colors[r].ColorWork)
+		for _, cw := range rw.Colors[r].ColorWork {
+			frac := 0.0
+			if sum > 0 {
+				frac = cw / sum
+			}
+			total += work*frac*p.ElementLocalOverheadColoring/t + p.LoopOverhead
+		}
+		return total
+	case tasking.StrategyMultidep:
+		ts := rw.Tasks[r]
+		sum := Sum(ts.Durations)
+		scaled := make([]float64, len(ts.Durations))
+		for i, d := range ts.Durations {
+			frac := 0.0
+			if sum > 0 {
+				frac = d / sum
+			}
+			scaled[i] = work*frac*p.ElementLocalOverheadMultidep + p.TaskOverhead
+		}
+		return ScheduleMutex(scaled, ts.Adj, threads)
+	}
+	return work
+}
+
+// sgsShareFactor rescales the SGS element cost so that the SGS phase's
+// share of a pure-MPI step matches Table 1 (the SGS kernel is cheaper
+// per element than the assembly kernel).
+func sgsShareFactor(rw *RankWork) float64 {
+	ma, ms := Max(rw.Assembly), Max(rw.SGS)
+	if ms == 0 {
+		return 1
+	}
+	return (shareSGS / shareAssembly) * ma / ms
+}
+
+// phaseSpeedups models Figure 6 or 7: speedup of each (strategy, config)
+// over the pure-MPI execution of the same phase on the same total cores.
+func phaseSpeedups(p arch.Profile, w *Workload, rankTime func(*RankWork, int, int, tasking.Strategy) float64) ([]StrategySeries, error) {
+	baseRW, err := w.Ranks(p.TotalCores(), tasksPerRank)
+	if err != nil {
+		return nil, err
+	}
+	base := 0.0
+	for r := 0; r < baseRW.K; r++ {
+		if t := rankTime(baseRW, r, 1, tasking.StrategySerial); t > base {
+			base = t
+		}
+	}
+	strategies := []tasking.Strategy{tasking.StrategyAtomic, tasking.StrategyColoring, tasking.StrategyMultidep}
+	var out []StrategySeries
+	for _, strat := range strategies {
+		s := StrategySeries{Strategy: strat}
+		for _, cfgc := range ConfigsFor(p) {
+			rw, err := w.Ranks(cfgc.Ranks, tasksPerRank)
+			if err != nil {
+				return nil, err
+			}
+			tmax := 0.0
+			for r := 0; r < rw.K; r++ {
+				if t := rankTime(rw, r, cfgc.Threads, strat); t > tmax {
+					tmax = t
+				}
+			}
+			s.Labels = append(s.Labels, cfgc.Label())
+			s.Speedups = append(s.Speedups, base/tmax)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// AssemblySpeedups regenerates Figure 6 for one platform.
+func AssemblySpeedups(p arch.Profile, w *Workload, keying tasking.MutexKeying) ([]StrategySeries, error) {
+	return phaseSpeedups(p, w, func(rw *RankWork, r, threads int, s tasking.Strategy) float64 {
+		return assemblyRankTime(p, rw, r, threads, s, keying)
+	})
+}
+
+// SGSSpeedups regenerates Figure 7 for one platform.
+func SGSSpeedups(p arch.Profile, w *Workload) ([]StrategySeries, error) {
+	return phaseSpeedups(p, w, func(rw *RankWork, r, threads int, s tasking.Strategy) float64 {
+		return sgsRankTime(p, rw, r, threads, s)
+	})
+}
+
+// IPCPoint reports the modeled assembly IPC of one strategy.
+type IPCPoint struct {
+	Strategy string
+	IPC      float64
+}
+
+// ModeledIPC reproduces the paper's Section 4.3 IPC discussion for one
+// platform.
+func ModeledIPC(p arch.Profile) []IPCPoint {
+	return []IPCPoint{
+		{"MPI-only", p.BaseIPC},
+		{"Atomics", p.AtomicIPC},
+		{"Coloring", p.BaseIPC / p.ColoringLocalityFactor},
+		{"Multidep", p.BaseIPC * p.MultidepIPCFraction},
+	}
+}

@@ -1,0 +1,96 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/tasking"
+)
+
+// Property: the makespan of ScheduleMutex always lies between the two
+// trivial bounds — total/workers (perfect packing) and total (fully
+// serial) — and equals max(duration) when there is a single worker-free
+// independent task.
+func TestScheduleMutexBoundsQuick(t *testing.T) {
+	f := func(seed int64, nRaw, wRaw uint8) bool {
+		n := 1 + int(nRaw%40)
+		workers := 1 + int(wRaw%8)
+		rng := rand.New(rand.NewSource(seed))
+		d := make([]float64, n)
+		total := 0.0
+		for i := range d {
+			d[i] = 0.1 + rng.Float64()
+			total += d[i]
+		}
+		var edges []graph.Edge
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 && i+1 < n {
+				edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+			}
+		}
+		g := graph.FromEdges(n, edges)
+		ms := ScheduleMutex(d, g, workers)
+		lower := total / float64(workers)
+		const eps = 1e-9
+		return ms >= lower-eps && ms <= total+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more workers never increase the makespan on conflict-free
+// task sets (greedy with conflicts is not monotone in general, so the
+// property is asserted only where it must hold).
+func TestScheduleMutexWorkerMonotoneNoConflicts(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%30)
+		rng := rand.New(rand.NewSource(seed))
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = 0.1 + rng.Float64()
+		}
+		g := graph.FromEdges(n, nil)
+		prev := ScheduleMutex(d, g, 1)
+		for w := 2; w <= 6; w++ {
+			cur := ScheduleMutex(d, g, w)
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KeyNeighbors conflicts are always a superset of KeyEdges
+// conflicts, so its makespan is never smaller.
+func TestKeyingMakespanOrderingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		ts := syntheticTaskGrid(100, 27, seed)
+		edge := ScheduleMutex(ts.Durations, ConflictPairs(ts.Adj, tasking.KeyEdges), 4)
+		nb := ScheduleMutex(ts.Durations, ConflictPairs(ts.Adj, tasking.KeyNeighbors), 4)
+		return nb >= edge-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflictPairsSupersetProperty(t *testing.T) {
+	ts := syntheticTaskGrid(10, 64, 3)
+	edges := ConflictPairs(ts.Adj, tasking.KeyEdges)
+	nbrs := ConflictPairs(ts.Adj, tasking.KeyNeighbors)
+	for v := 0; v < edges.NumVertices(); v++ {
+		for _, u := range edges.Neighbors(v) {
+			if !nbrs.HasEdge(v, int(u)) {
+				t.Fatalf("neighbor keying lost conflict (%d,%d)", v, u)
+			}
+		}
+	}
+}

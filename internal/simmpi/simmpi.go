@@ -1,0 +1,554 @@
+// Package simmpi is a simulated MPI runtime: ranks are goroutines inside
+// one process, point-to-point messages are matched by (source, tag) with
+// FIFO ordering, and the usual collectives (barrier, allreduce, bcast,
+// gather, split) are provided per communicator.
+//
+// It reproduces the two properties of real MPI the paper's techniques
+// rely on:
+//
+//   - blocking semantics: receives and collectives block until satisfied,
+//     wasting the caller's core exactly as a blocked MPI process does; and
+//   - the PMPI interception surface: every blocking call is bracketed by
+//     Enter/Exit hooks, which is how the DLB library observes idleness
+//     without any change to application code.
+//
+// Sends use eager (buffered) semantics — they never block — which keeps
+// exchange patterns deadlock-free, like small-message MPI in practice.
+package simmpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// BlockingHooks receives notifications around every blocking MPI call a
+// rank performs — the PMPI interception surface DLB plugs into.
+type BlockingHooks interface {
+	// IntoBlockingCall is called just before rank may block.
+	IntoBlockingCall(rank int)
+	// OutOfBlockingCall is called right after the call is satisfied.
+	OutOfBlockingCall(rank int)
+}
+
+// World is the process set. Create one with NewWorld, then Run rank
+// bodies against it.
+type World struct {
+	size     int
+	perNode  int // ranks per node (block mapping); 0 = all on one node
+	hooks    BlockingHooks
+	inbox    []*mailbox // one per rank
+	worldCom *commShared
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithRanksPerNode sets the node topology: ranks [0,n) share node 0,
+// [n,2n) node 1, and so on. Node locality bounds DLB lending.
+func WithRanksPerNode(n int) Option {
+	return func(w *World) { w.perNode = n }
+}
+
+// WithBlockingHooks installs PMPI-style hooks around blocking calls.
+func WithBlockingHooks(h BlockingHooks) Option {
+	return func(w *World) { w.hooks = h }
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int, opts ...Option) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("simmpi: world size must be >= 1, got %d", size)
+	}
+	w := &World{size: size}
+	for _, o := range opts {
+		o(w)
+	}
+	if w.perNode <= 0 {
+		w.perNode = size
+	}
+	w.inbox = make([]*mailbox, size)
+	for i := range w.inbox {
+		w.inbox[i] = newMailbox()
+	}
+	group := make([]int, size)
+	for i := range group {
+		group[i] = i
+	}
+	w.worldCom = newCommShared(group)
+	return w, nil
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// NumNodes reports the number of nodes in the topology.
+func (w *World) NumNodes() int { return (w.size + w.perNode - 1) / w.perNode }
+
+// NodeOf reports the node housing the given global rank.
+func (w *World) NodeOf(rank int) int { return rank / w.perNode }
+
+// RanksOnNode lists the global ranks housed on a node.
+func (w *World) RanksOnNode(node int) []int {
+	lo := node * w.perNode
+	hi := lo + w.perNode
+	if hi > w.size {
+		hi = w.size
+	}
+	ranks := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		ranks = append(ranks, r)
+	}
+	return ranks
+}
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them. A panic in any rank is recovered and returned as an error after
+// the remaining ranks finish or the panic cascades (callers should treat
+// an error as fatal for the whole world).
+func (w *World) Run(body func(r *Rank)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for rank := 0; rank < w.size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			r := &Rank{world: w, rank: rank}
+			r.Comm = &Comm{world: w, shared: w.worldCom, me: rank}
+			body(r)
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank is the per-goroutine handle: its identity plus the world
+// communicator.
+type Rank struct {
+	world *World
+	rank  int
+	Comm  *Comm // world communicator
+}
+
+// ID reports the global rank index.
+func (r *Rank) ID() int { return r.rank }
+
+// Size reports the world size.
+func (r *Rank) Size() int { return r.world.size }
+
+// Node reports the node housing this rank.
+func (r *Rank) Node() int { return r.world.NodeOf(r.rank) }
+
+// World returns the rank's world.
+func (r *Rank) World() *World { return r.world }
+
+// --- point-to-point ---
+
+type msgKey struct {
+	src, tag int
+}
+
+type message struct {
+	payload any
+}
+
+// mailbox holds pending messages per (source, tag) with FIFO order.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][]message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{queues: make(map[msgKey][]message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(key msgKey, m message) {
+	mb.mu.Lock()
+	mb.queues[key] = append(mb.queues[key], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) take(key msgKey) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queues[key]) == 0 {
+		mb.cond.Wait()
+	}
+	q := mb.queues[key]
+	m := q[0]
+	mb.queues[key] = q[1:]
+	return m
+}
+
+func (mb *mailbox) tryTake(key msgKey) (message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.queues[key]) == 0 {
+		return message{}, false
+	}
+	q := mb.queues[key]
+	m := q[0]
+	mb.queues[key] = q[1:]
+	return m, true
+}
+
+func (w *World) blockEnter(rank int) {
+	if w.hooks != nil {
+		w.hooks.IntoBlockingCall(rank)
+	}
+}
+
+func (w *World) blockExit(rank int) {
+	if w.hooks != nil {
+		w.hooks.OutOfBlockingCall(rank)
+	}
+}
+
+// --- communicators ---
+
+// Comm is a per-rank communicator handle. Rank indices used by Comm
+// methods are indices within the communicator's group, like MPI.
+type Comm struct {
+	world  *World
+	shared *commShared
+	me     int // global rank
+}
+
+// commShared is the state common to all ranks of a communicator.
+type commShared struct {
+	group   []int       // global ranks, ascending
+	indexOf map[int]int // global rank -> comm rank
+	coll    *collective
+}
+
+func newCommShared(group []int) *commShared {
+	cs := &commShared{group: group, indexOf: make(map[int]int, len(group))}
+	for i, g := range group {
+		cs.indexOf[g] = i
+	}
+	cs.coll = newCollective(len(group))
+	return cs
+}
+
+// Rank reports this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.shared.indexOf[c.me] }
+
+// Size reports the communicator size.
+func (c *Comm) Size() int { return len(c.shared.group) }
+
+// GlobalRank translates a communicator rank to a world rank.
+func (c *Comm) GlobalRank(commRank int) int { return c.shared.group[commRank] }
+
+// Send delivers payload to dst (comm rank) under tag. Eager semantics:
+// it never blocks. Slice payloads are shared, not copied; senders must
+// not mutate them afterwards (use the typed helpers to copy).
+func (c *Comm) Send(dst, tag int, payload any) {
+	g := c.shared.group[dst]
+	c.world.inbox[g].put(msgKey{src: c.me, tag: tag}, message{payload: payload})
+}
+
+// SendFloat64s copies the slice and sends it.
+func (c *Comm) SendFloat64s(dst, tag int, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.Send(dst, tag, cp)
+}
+
+// SendInt32s copies the slice and sends it.
+func (c *Comm) SendInt32s(dst, tag int, data []int32) {
+	cp := make([]int32, len(data))
+	copy(cp, data)
+	c.Send(dst, tag, cp)
+}
+
+// Recv blocks until a message from src (comm rank) with tag arrives and
+// returns its payload.
+func (c *Comm) Recv(src, tag int) any {
+	g := c.shared.group[src]
+	key := msgKey{src: g, tag: tag}
+	mb := c.world.inbox[c.me]
+	if m, ok := mb.tryTake(key); ok {
+		return m.payload
+	}
+	c.world.blockEnter(c.me)
+	m := mb.take(key)
+	c.world.blockExit(c.me)
+	return m.payload
+}
+
+// RecvFloat64s receives a []float64 payload.
+func (c *Comm) RecvFloat64s(src, tag int) []float64 {
+	return c.Recv(src, tag).([]float64)
+}
+
+// RecvInt32s receives a []int32 payload.
+func (c *Comm) RecvInt32s(src, tag int) []int32 {
+	return c.Recv(src, tag).([]int32)
+}
+
+// SendRecv sends to dst and receives from src (both comm ranks) under the
+// same tag, the deadlock-free exchange idiom.
+func (c *Comm) SendRecv(dst, tag int, payload any, src int) any {
+	c.Send(dst, tag, payload)
+	return c.Recv(src, tag)
+}
+
+// --- collectives ---
+
+// collective implements generation-counted rendezvous for the collective
+// operations of one communicator.
+type collective struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	gen     int
+	arrived int
+	slots   []any
+	result  any
+}
+
+func newCollective(n int) *collective {
+	c := &collective{n: n, slots: make([]any, n)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// rendezvous deposits this rank's contribution, has the last arriver run
+// reduce over all contributions, and returns the common result.
+func (c *collective) rendezvous(idx int, contrib any, reduce func(slots []any) any) any {
+	c.mu.Lock()
+	gen := c.gen
+	c.slots[idx] = contrib
+	c.arrived++
+	if c.arrived == c.n {
+		c.result = reduce(c.slots)
+		c.arrived = 0
+		c.gen++
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return c.result
+	}
+	for gen == c.gen {
+		c.cond.Wait()
+	}
+	res := c.result
+	c.mu.Unlock()
+	return res
+}
+
+// Barrier blocks until every rank of the communicator arrives.
+func (c *Comm) Barrier() {
+	c.world.blockEnter(c.me)
+	c.shared.coll.rendezvous(c.Rank(), nil, func([]any) any { return nil })
+	c.world.blockExit(c.me)
+}
+
+// ReduceOp selects the combining operation of an allreduce.
+type ReduceOp uint8
+
+// Reduce operations.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// AllreduceFloat64 combines one value from every rank.
+func (c *Comm) AllreduceFloat64(v float64, op ReduceOp) float64 {
+	c.world.blockEnter(c.me)
+	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
+		acc := slots[0].(float64)
+		for _, s := range slots[1:] {
+			x := s.(float64)
+			switch op {
+			case OpSum:
+				acc += x
+			case OpMax:
+				if x > acc {
+					acc = x
+				}
+			case OpMin:
+				if x < acc {
+					acc = x
+				}
+			}
+		}
+		return acc
+	})
+	c.world.blockExit(c.me)
+	return res.(float64)
+}
+
+// AllreduceFloat64s combines slices elementwise (all slices must share a
+// length); the result is a fresh slice.
+func (c *Comm) AllreduceFloat64s(v []float64, op ReduceOp) []float64 {
+	c.world.blockEnter(c.me)
+	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
+		first := slots[0].([]float64)
+		acc := make([]float64, len(first))
+		copy(acc, first)
+		for _, s := range slots[1:] {
+			x := s.([]float64)
+			for i := range acc {
+				switch op {
+				case OpSum:
+					acc[i] += x[i]
+				case OpMax:
+					if x[i] > acc[i] {
+						acc[i] = x[i]
+					}
+				case OpMin:
+					if x[i] < acc[i] {
+						acc[i] = x[i]
+					}
+				}
+			}
+		}
+		return acc
+	})
+	c.world.blockExit(c.me)
+	return res.([]float64)
+}
+
+// AllreduceInt combines one int from every rank.
+func (c *Comm) AllreduceInt(v int, op ReduceOp) int {
+	c.world.blockEnter(c.me)
+	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
+		acc := slots[0].(int)
+		for _, s := range slots[1:] {
+			x := s.(int)
+			switch op {
+			case OpSum:
+				acc += x
+			case OpMax:
+				if x > acc {
+					acc = x
+				}
+			case OpMin:
+				if x < acc {
+					acc = x
+				}
+			}
+		}
+		return acc
+	})
+	c.world.blockExit(c.me)
+	return res.(int)
+}
+
+// AllgatherFloat64 collects one value per rank, indexed by comm rank.
+func (c *Comm) AllgatherFloat64(v float64) []float64 {
+	c.world.blockEnter(c.me)
+	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
+		out := make([]float64, len(slots))
+		for i, s := range slots {
+			out[i] = s.(float64)
+		}
+		return out
+	})
+	c.world.blockExit(c.me)
+	return res.([]float64)
+}
+
+// AllgatherInt32s collects one []int32 per rank, indexed by comm rank.
+// The result slices are copies.
+func (c *Comm) AllgatherInt32s(v []int32) [][]int32 {
+	cp := make([]int32, len(v))
+	copy(cp, v)
+	c.world.blockEnter(c.me)
+	res := c.shared.coll.rendezvous(c.Rank(), cp, func(slots []any) any {
+		out := make([][]int32, len(slots))
+		for i, s := range slots {
+			if s == nil {
+				continue
+			}
+			src := s.([]int32)
+			out[i] = make([]int32, len(src))
+			copy(out[i], src)
+		}
+		return out
+	})
+	c.world.blockExit(c.me)
+	return res.([][]int32)
+}
+
+// AllgatherInt collects one int per rank.
+func (c *Comm) AllgatherInt(v int) []int {
+	c.world.blockEnter(c.me)
+	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
+		out := make([]int, len(slots))
+		for i, s := range slots {
+			out[i] = s.(int)
+		}
+		return out
+	})
+	c.world.blockExit(c.me)
+	return res.([]int)
+}
+
+// BcastFloat64s broadcasts root's slice to every rank (fresh copy each).
+func (c *Comm) BcastFloat64s(root int, data []float64) []float64 {
+	var contrib any
+	if c.Rank() == root {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		contrib = cp
+	}
+	c.world.blockEnter(c.me)
+	rootIdx := root
+	res := c.shared.coll.rendezvous(c.Rank(), contrib, func(slots []any) any {
+		return slots[rootIdx]
+	})
+	c.world.blockExit(c.me)
+	src := res.([]float64)
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out
+}
+
+// Split partitions the communicator by color, ordering ranks by (key,
+// rank), and returns each caller's new communicator — MPI_Comm_split.
+// Every rank of the communicator must call it.
+func (c *Comm) Split(color, key int) *Comm {
+	type entry struct{ color, key, commRank int }
+	c.world.blockEnter(c.me)
+	res := c.shared.coll.rendezvous(c.Rank(), entry{color, key, c.Rank()}, func(slots []any) any {
+		byColor := map[int][]entry{}
+		for _, s := range slots {
+			e := s.(entry)
+			byColor[e.color] = append(byColor[e.color], e)
+		}
+		shared := map[int]*commShared{}
+		for col, entries := range byColor {
+			sort.Slice(entries, func(i, j int) bool {
+				if entries[i].key != entries[j].key {
+					return entries[i].key < entries[j].key
+				}
+				return entries[i].commRank < entries[j].commRank
+			})
+			group := make([]int, len(entries))
+			for i, e := range entries {
+				group[i] = c.shared.group[e.commRank]
+			}
+			shared[col] = newCommShared(group)
+		}
+		return shared
+	})
+	c.world.blockExit(c.me)
+	shared := res.(map[int]*commShared)[color]
+	return &Comm{world: c.world, shared: shared, me: c.me}
+}

@@ -1,0 +1,222 @@
+package tasking
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Strategy selects how the element loop of a FEM assembly is parallelized
+// — the three alternatives of the paper's Figure 4 plus a serial
+// reference.
+type Strategy uint8
+
+// Assembly strategies.
+const (
+	// StrategySerial runs the element loop sequentially (reference).
+	StrategySerial Strategy = iota
+	// StrategyAtomic runs one parallel loop over all elements and makes
+	// every scattered update atomic (`omp parallel do` + `omp atomic`).
+	StrategyAtomic
+	// StrategyColoring partitions elements into conflict-free colors and
+	// runs one plain parallel loop per color (Farhat & Crivelli 1989).
+	// No atomics, but consecutive elements land on different threads, so
+	// spatial locality is lost.
+	StrategyColoring
+	// StrategyMultidep maps each mesh subdomain to a task and lets tasks
+	// of adjacent (node-sharing) subdomains exclude each other through
+	// mutexinoutset dependences built with runtime iterators. No atomics,
+	// and each task walks a contiguous, memory-ordered element range, so
+	// spatial locality is preserved.
+	StrategyMultidep
+)
+
+// String names the strategy as in the paper's figures.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySerial:
+		return "Serial"
+	case StrategyAtomic:
+		return "Atomics"
+	case StrategyColoring:
+		return "Coloring"
+	case StrategyMultidep:
+		return "Multidep"
+	}
+	return fmt.Sprintf("Strategy(%d)", uint8(s))
+}
+
+// MutexKeying selects how the multidependences strategy turns subdomain
+// adjacency into mutexinoutset keys.
+type MutexKeying uint8
+
+const (
+	// KeyNeighbors declares, for subdomain task i, mutexinoutset keys
+	// {i} ∪ adj(i) — the formulation used by the paper's OmpSs code. Two
+	// tasks at graph distance 2 (a common neighbor but no shared node)
+	// are serialized too; that over-synchronization is part of the
+	// construct's semantics and is ablated in the benchmarks.
+	KeyNeighbors MutexKeying = iota
+	// KeyEdges declares one key per adjacency edge, giving exact
+	// pairwise exclusion: tasks conflict iff their subdomains share a
+	// node.
+	KeyEdges
+)
+
+// Scatter receives the contributions an element kernel produces. AddMat
+// accumulates into a matrix entry, AddVec into a right-hand-side entry.
+// Assembly strategies choose between a plain (non-atomic) and an atomic
+// Scatter implementation supplied by the caller.
+type Scatter struct {
+	AddMat func(i, j int32, v float64)
+	AddVec func(i int32, v float64)
+}
+
+// Kernel computes element e's local contribution and scatters it.
+type Kernel func(e int, s *Scatter)
+
+// AssemblyPlan carries the precomputed structures each strategy needs.
+// Build one per (rank-mesh, strategy) and reuse it every time step; the
+// coloring and sub-partition are geometry-only and do not change.
+type AssemblyPlan struct {
+	Strategy Strategy
+	NumElems int
+
+	// Coloring of the element conflict graph (StrategyColoring).
+	Coloring *graph.Coloring
+
+	// Subdomain labels per element, subdomain adjacency and keying
+	// (StrategyMultidep).
+	SubLabels []int32
+	SubAdj    *graph.CSR
+	NumSub    int
+	Keying    MutexKeying
+
+	subElems [][]int32 // elements per subdomain, ascending (locality)
+}
+
+// NewSerialPlan builds a plan for the serial reference.
+func NewSerialPlan(nElems int) *AssemblyPlan {
+	return &AssemblyPlan{Strategy: StrategySerial, NumElems: nElems}
+}
+
+// NewAtomicPlan builds a plan for the Atomics strategy.
+func NewAtomicPlan(nElems int) *AssemblyPlan {
+	return &AssemblyPlan{Strategy: StrategyAtomic, NumElems: nElems}
+}
+
+// NewColoringPlan builds a plan for the Coloring strategy from the
+// element conflict graph (elements adjacent iff they share a node).
+func NewColoringPlan(conflicts *graph.CSR) *AssemblyPlan {
+	return &AssemblyPlan{
+		Strategy: StrategyColoring,
+		NumElems: conflicts.NumVertices(),
+		Coloring: graph.BalancedColoring(conflicts),
+	}
+}
+
+// NewMultidepPlan builds a plan for the Multidependences strategy from an
+// element -> subdomain labeling and the subdomain adjacency graph.
+func NewMultidepPlan(subLabels []int32, subAdj *graph.CSR, keying MutexKeying) *AssemblyPlan {
+	numSub := subAdj.NumVertices()
+	subElems := make([][]int32, numSub)
+	for e, s := range subLabels {
+		subElems[s] = append(subElems[s], int32(e))
+	}
+	for _, list := range subElems {
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	}
+	return &AssemblyPlan{
+		Strategy:  StrategyMultidep,
+		NumElems:  len(subLabels),
+		SubLabels: subLabels,
+		SubAdj:    subAdj,
+		NumSub:    numSub,
+		Keying:    keying,
+		subElems:  subElems,
+	}
+}
+
+// Assemble runs kernel over every element according to the plan's
+// strategy. plain must scatter without synchronization; atomicS must
+// scatter atomically (used only by StrategyAtomic). Both must accumulate
+// into the same underlying storage.
+func Assemble(pool *Pool, plan *AssemblyPlan, kernel Kernel, plain, atomicS *Scatter) error {
+	switch plan.Strategy {
+	case StrategySerial:
+		for e := 0; e < plan.NumElems; e++ {
+			kernel(e, plain)
+		}
+		return nil
+
+	case StrategyAtomic:
+		if atomicS == nil {
+			return fmt.Errorf("tasking: StrategyAtomic requires an atomic scatter")
+		}
+		pool.ParallelFor(plan.NumElems, 0, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				kernel(e, atomicS)
+			}
+		})
+		return nil
+
+	case StrategyColoring:
+		if plan.Coloring == nil {
+			return fmt.Errorf("tasking: StrategyColoring requires a coloring")
+		}
+		for _, elems := range plan.Coloring.ByColor {
+			elems := elems
+			pool.ParallelFor(len(elems), 0, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					kernel(int(elems[k]), plain)
+				}
+			})
+		}
+		return nil
+
+	case StrategyMultidep:
+		if plan.SubAdj == nil {
+			return fmt.Errorf("tasking: StrategyMultidep requires subdomain adjacency")
+		}
+		var tg TaskGraph
+		for s := 0; s < plan.NumSub; s++ {
+			s := s
+			deps := plan.mutexDeps(s)
+			elems := plan.subElems[s]
+			tg.Add(fmt.Sprintf("subdomain-%d", s), deps, func() {
+				for _, e := range elems {
+					kernel(int(e), plain)
+				}
+			})
+		}
+		return tg.Run(pool)
+	}
+	return fmt.Errorf("tasking: unknown strategy %v", plan.Strategy)
+}
+
+// mutexDeps builds the mutexinoutset dependence list for subdomain task s
+// using a runtime iterator over the adjacency — the multidependences
+// feature: the dependence count is known only at execution time.
+func (plan *AssemblyPlan) mutexDeps(s int) []Dep {
+	switch plan.Keying {
+	case KeyEdges:
+		return DepsFromIterator(Mutexinoutset, func(yield func(any)) {
+			for _, nb := range plan.SubAdj.Neighbors(s) {
+				a, b := int64(s), int64(nb)
+				if a > b {
+					a, b = b, a
+				}
+				yield(a<<32 | b)
+			}
+			yield(int64(s)<<32 | int64(s)) // self key serializes nothing but orders with itself
+		})
+	default: // KeyNeighbors — the paper's formulation
+		return DepsFromIterator(Mutexinoutset, func(yield func(any)) {
+			yield(int64(s))
+			for _, nb := range plan.SubAdj.Neighbors(s) {
+				yield(int64(nb))
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+// Package tasking implements the shared-memory runtime the paper layers
+// over MPI: an OmpSs/OpenMP-like system with
+//
+//   - a worker pool whose size can be changed while tasks run (the
+//     malleability DLB exploits via omp_set_num_threads),
+//   - parallel loops with dynamic chunk scheduling,
+//   - a task graph supporting In/Out/Inout dependences plus the OpenMP 5.0
+//     features the paper evaluates: mutexinoutset dependences and
+//     dependence lists computed at run time ("multidependences"), and
+//   - the three matrix assembly strategies compared in the paper:
+//     Atomics, Coloring, and Multidependences.
+package tasking
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a resizable worker pool. A Pool with maxWorkers goroutines can
+// execute at most SetWorkers(n) tasks concurrently; n can be raised and
+// lowered at any time, taking effect at task granularity (running tasks
+// are never preempted). This models OpenMP thread teams resized through
+// omp_set_num_threads, which is the mechanism DLB drives.
+type Pool struct {
+	mu       sync.Mutex
+	workCond *sync.Cond // workers wait here for tasks / activation
+	idleCond *sync.Cond // Wait() callers wait here
+
+	queue   []func()
+	target  int // current allowed concurrency
+	max     int // spawned workers
+	running int // tasks currently executing
+	pending int // queued + running
+	closed  bool
+}
+
+// NewPool creates a pool with max worker goroutines, initially all active.
+func NewPool(max int) *Pool {
+	if max < 1 {
+		max = 1
+	}
+	p := &Pool{target: max, max: max}
+	p.workCond = sync.NewCond(&p.mu)
+	p.idleCond = sync.NewCond(&p.mu)
+	for i := 0; i < max; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *Pool) worker(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for !p.closed && (id >= p.target || len(p.queue) == 0) {
+			p.workCond.Wait()
+		}
+		if p.closed {
+			return
+		}
+		task := p.queue[0]
+		p.queue = p.queue[1:]
+		p.running++
+		p.mu.Unlock()
+		task()
+		p.mu.Lock()
+		p.running--
+		p.pending--
+		if p.pending == 0 {
+			p.idleCond.Broadcast()
+		}
+	}
+}
+
+// Submit enqueues a task for execution.
+func (p *Pool) Submit(task func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("tasking: Submit on closed pool")
+	}
+	p.queue = append(p.queue, task)
+	p.pending++
+	p.mu.Unlock()
+	p.workCond.Broadcast()
+}
+
+// SetWorkers changes the allowed concurrency, clamped to [1, max].
+// Raising it wakes parked workers immediately; lowering it takes effect
+// as running tasks finish (no wakeup needed — DLB transitions are
+// frequent, so avoiding spurious broadcasts matters).
+func (p *Pool) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.max {
+		n = p.max
+	}
+	p.mu.Lock()
+	raised := n > p.target
+	p.target = n
+	p.mu.Unlock()
+	if raised {
+		p.workCond.Broadcast()
+	}
+}
+
+// Workers reports the current allowed concurrency.
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target
+}
+
+// MaxWorkers reports the pool's spawned worker count.
+func (p *Pool) MaxWorkers() int { return p.max }
+
+// Pending reports queued plus running tasks.
+func (p *Pool) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
+// Wait blocks until every submitted task has finished.
+func (p *Pool) Wait() {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.idleCond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the pool down after the queue drains. Tasks submitted after
+// Close panic.
+func (p *Pool) Close() {
+	p.Wait()
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.workCond.Broadcast()
+}
+
+// ParallelFor executes body(lo,hi) over [0,n) split into dynamically
+// scheduled chunks, blocking until the whole range is processed. The
+// chunk size adapts to the pool's current concurrency; pass grain > 0 to
+// force a chunk size. ParallelFor must not be called from inside a pool
+// task (the pool does not support nested blocking).
+func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if grain <= 0 {
+		grain = n / (w * 8)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	var next int64
+	var wg sync.WaitGroup
+	puller := func() {
+		defer wg.Done()
+		for {
+			lo := int(atomic.AddInt64(&next, int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	}
+	// Submit one puller per potential worker so that concurrency raised
+	// mid-loop (DLB lending) is exploited.
+	nPullers := p.max
+	if nPullers > (n+grain-1)/grain {
+		nPullers = (n + grain - 1) / grain
+	}
+	wg.Add(nPullers)
+	for i := 0; i < nPullers; i++ {
+		p.Submit(puller)
+	}
+	wg.Wait()
+}
+
+// String describes the pool state for diagnostics.
+func (p *Pool) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("pool{target=%d max=%d running=%d queued=%d}",
+		p.target, p.max, p.running, len(p.queue))
+}

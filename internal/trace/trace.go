@@ -1,0 +1,244 @@
+// Package trace is the reproduction's Extrae + Paraver substitute: ranks
+// record phase intervals on private timelines (no synchronization on the
+// hot path), and the merged trace can be rendered as an ASCII timeline —
+// the equivalent of the paper's Figure 2 — or reduced to per-phase
+// statistics (Table 1).
+//
+// Timelines use double-precision seconds. The flow solver records
+// *virtual* work-accounted time so that phase statistics are
+// deterministic and host-independent; wall-clock tracing works the same
+// way.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Phase identifies the simulation phase an interval belongs to. The set
+// mirrors the paper's Figure 2 legend.
+type Phase uint8
+
+// Phases of one CFPD time step.
+const (
+	PhaseMPI       Phase = iota // communication / waiting (white)
+	PhaseAssembly               // Navier-Stokes matrix assembly (brown)
+	PhaseSolver1                // momentum solver (pink)
+	PhaseSolver2                // continuity solver (blue)
+	PhaseSGS                    // subgrid-scale vector (purple)
+	PhaseParticles              // Lagrangian transport (black)
+	PhaseOther                  // everything else
+	NumPhases
+)
+
+// String names the phase as in the paper.
+func (p Phase) String() string {
+	switch p {
+	case PhaseMPI:
+		return "MPI"
+	case PhaseAssembly:
+		return "Matrix assembly"
+	case PhaseSolver1:
+		return "Solver1"
+	case PhaseSolver2:
+		return "Solver2"
+	case PhaseSGS:
+		return "SGS"
+	case PhaseParticles:
+		return "Particles"
+	case PhaseOther:
+		return "Other"
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// glyph is the timeline character for a phase.
+func (p Phase) glyph() byte {
+	switch p {
+	case PhaseMPI:
+		return ' '
+	case PhaseAssembly:
+		return 'A'
+	case PhaseSolver1:
+		return '1'
+	case PhaseSolver2:
+		return '2'
+	case PhaseSGS:
+		return 'S'
+	case PhaseParticles:
+		return 'P'
+	default:
+		return '.'
+	}
+}
+
+// Event is one recorded interval on a rank's timeline.
+type Event struct {
+	Phase      Phase
+	Start, End float64
+}
+
+// RankTracer records a single rank's timeline. It is not safe for
+// concurrent use; each rank owns its tracer.
+type RankTracer struct {
+	Rank   int
+	clock  float64
+	events []Event
+}
+
+// Clock reports the rank's current timeline position.
+func (rt *RankTracer) Clock() float64 { return rt.clock }
+
+// Advance appends an interval of the given duration at the current clock
+// and moves the clock forward. Zero or negative durations are ignored.
+func (rt *RankTracer) Advance(p Phase, duration float64) {
+	if duration <= 0 {
+		return
+	}
+	rt.events = append(rt.events, Event{Phase: p, Start: rt.clock, End: rt.clock + duration})
+	rt.clock += duration
+}
+
+// AlignTo moves the clock to t (recording the gap as MPI/wait time) if t
+// is ahead; used at synchronization points.
+func (rt *RankTracer) AlignTo(t float64) {
+	if t > rt.clock {
+		rt.Advance(PhaseMPI, t-rt.clock)
+	}
+}
+
+// Events returns the recorded intervals.
+func (rt *RankTracer) Events() []Event { return rt.events }
+
+// PhaseTotals sums the recorded durations per phase.
+func (rt *RankTracer) PhaseTotals() [NumPhases]float64 {
+	var tot [NumPhases]float64
+	for _, e := range rt.events {
+		tot[e.Phase] += e.End - e.Start
+	}
+	return tot
+}
+
+// Trace is a merged multi-rank trace.
+type Trace struct {
+	Ranks []*RankTracer
+}
+
+// NewTrace creates a trace with n rank timelines.
+func NewTrace(n int) *Trace {
+	tr := &Trace{Ranks: make([]*RankTracer, n)}
+	for i := range tr.Ranks {
+		tr.Ranks[i] = &RankTracer{Rank: i}
+	}
+	return tr
+}
+
+// MaxClock reports the latest clock across ranks (the makespan).
+func (tr *Trace) MaxClock() float64 {
+	max := 0.0
+	for _, rt := range tr.Ranks {
+		if rt.clock > max {
+			max = rt.clock
+		}
+	}
+	return max
+}
+
+// PhaseTimes returns, for each phase, the per-rank total durations —
+// the input of the paper's Ln load-balance metric (eq. 9).
+func (tr *Trace) PhaseTimes() [NumPhases][]float64 {
+	var out [NumPhases][]float64
+	for p := Phase(0); p < NumPhases; p++ {
+		out[p] = make([]float64, len(tr.Ranks))
+	}
+	for i, rt := range tr.Ranks {
+		tot := rt.PhaseTotals()
+		for p := Phase(0); p < NumPhases; p++ {
+			out[p][i] = tot[p]
+		}
+	}
+	return out
+}
+
+// Render draws a Paraver-style ASCII timeline: one row per rank (possibly
+// subsampled to maxRows), width columns spanning [0, MaxClock]. Each cell
+// shows the phase occupying the majority of that time bucket.
+func (tr *Trace) Render(width, maxRows int) string {
+	if width < 10 {
+		width = 10
+	}
+	span := tr.MaxClock()
+	if span == 0 {
+		return "(empty trace)\n"
+	}
+	step := 1
+	if maxRows > 0 && len(tr.Ranks) > maxRows {
+		step = (len(tr.Ranks) + maxRows - 1) / maxRows
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %d ranks, %.4g time units, legend: A=assembly 1=solver1 2=solver2 S=sgs P=particles ' '=MPI/wait\n",
+		len(tr.Ranks), span)
+	for r := 0; r < len(tr.Ranks); r += step {
+		rt := tr.Ranks[r]
+		row := make([]byte, width)
+		var occupancy [NumPhases]float64
+		for c := 0; c < width; c++ {
+			lo := span * float64(c) / float64(width)
+			hi := span * float64(c+1) / float64(width)
+			for p := range occupancy {
+				occupancy[p] = 0
+			}
+			for _, e := range rt.events {
+				if e.End <= lo || e.Start >= hi {
+					continue
+				}
+				s, t := e.Start, e.End
+				if s < lo {
+					s = lo
+				}
+				if t > hi {
+					t = hi
+				}
+				occupancy[e.Phase] += t - s
+			}
+			best, bestVal := PhaseMPI, 0.0
+			for p := Phase(0); p < NumPhases; p++ {
+				if occupancy[p] > bestVal {
+					best, bestVal = p, occupancy[p]
+				}
+			}
+			row[c] = best.glyph()
+		}
+		fmt.Fprintf(&sb, "%4d |%s|\n", rt.Rank, string(row))
+	}
+	return sb.String()
+}
+
+// Summary renders per-phase totals sorted by share of total busy time.
+func (tr *Trace) Summary() string {
+	phaseTimes := tr.PhaseTimes()
+	type row struct {
+		p     Phase
+		total float64
+	}
+	var rows []row
+	grand := 0.0
+	for p := Phase(0); p < NumPhases; p++ {
+		t := 0.0
+		for _, v := range phaseTimes[p] {
+			t += v
+		}
+		rows = append(rows, row{p, t})
+		grand += t
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	var sb strings.Builder
+	for _, r := range rows {
+		if r.total == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-16s %10.4g (%5.1f%%)\n", r.p.String(), r.total, 100*r.total/grand)
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRankTracerAccumulates(t *testing.T) {
+	rt := &RankTracer{Rank: 3}
+	rt.Advance(PhaseAssembly, 2)
+	rt.Advance(PhaseSolver1, 1)
+	rt.Advance(PhaseSolver1, 0) // ignored
+	rt.Advance(PhaseMPI, -1)    // ignored
+	if rt.Clock() != 3 {
+		t.Fatalf("clock=%g, want 3", rt.Clock())
+	}
+	tot := rt.PhaseTotals()
+	if tot[PhaseAssembly] != 2 || tot[PhaseSolver1] != 1 {
+		t.Fatalf("totals %v", tot)
+	}
+	if len(rt.Events()) != 2 {
+		t.Fatalf("events %d, want 2", len(rt.Events()))
+	}
+}
+
+func TestAlignToRecordsWait(t *testing.T) {
+	rt := &RankTracer{}
+	rt.Advance(PhaseAssembly, 1)
+	rt.AlignTo(4)
+	rt.AlignTo(2) // behind: no-op
+	if rt.Clock() != 4 {
+		t.Fatalf("clock=%g, want 4", rt.Clock())
+	}
+	if rt.PhaseTotals()[PhaseMPI] != 3 {
+		t.Fatalf("wait time %g, want 3", rt.PhaseTotals()[PhaseMPI])
+	}
+}
+
+func TestTracePhaseTimesAndMaxClock(t *testing.T) {
+	tr := NewTrace(3)
+	tr.Ranks[0].Advance(PhaseAssembly, 5)
+	tr.Ranks[1].Advance(PhaseAssembly, 1)
+	tr.Ranks[2].Advance(PhaseParticles, 2)
+	if tr.MaxClock() != 5 {
+		t.Fatalf("makespan %g", tr.MaxClock())
+	}
+	pt := tr.PhaseTimes()
+	if pt[PhaseAssembly][0] != 5 || pt[PhaseAssembly][1] != 1 || pt[PhaseParticles][2] != 2 {
+		t.Fatalf("phase times %v", pt)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Ranks[0].Advance(PhaseAssembly, 1)
+	tr.Ranks[0].Advance(PhaseParticles, 1)
+	tr.Ranks[1].Advance(PhaseAssembly, 2)
+	out := tr.Render(20, 0)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "P") {
+		t.Fatalf("render missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 ranks
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestRenderSubsamplesRows(t *testing.T) {
+	tr := NewTrace(100)
+	for _, rt := range tr.Ranks {
+		rt.Advance(PhaseSGS, 1)
+	}
+	out := tr.Render(30, 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) > 12 {
+		t.Fatalf("subsampling failed: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	tr := NewTrace(2)
+	if got := tr.Render(20, 0); !strings.Contains(got, "empty") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSummaryOrdersByShare(t *testing.T) {
+	tr := NewTrace(1)
+	tr.Ranks[0].Advance(PhaseSolver1, 1)
+	tr.Ranks[0].Advance(PhaseAssembly, 10)
+	s := tr.Summary()
+	if !strings.Contains(s, "Matrix assembly") {
+		t.Fatalf("summary:\n%s", s)
+	}
+	if strings.Index(s, "Matrix assembly") > strings.Index(s, "Solver1") {
+		t.Fatal("assembly should be listed first (largest share)")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() == "" {
+			t.Fatalf("phase %d has empty name", p)
+		}
+	}
+}
