@@ -6,9 +6,10 @@
 //	benchfig                  # everything
 //	benchfig -exp table1      # one experiment
 //	benchfig -exp fig6 -platform Thunder
+//	benchfig -exp particles   # particle engine A/B (locator, tracker)
 //
 // Experiments: table1, fig2, fig6, fig7, fig8, fig9, fig10, fig11, ipc,
-// ablation, all.
+// ablation, particles, all.
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 ipc ablation all)")
+	exp := flag.String("exp", "all", "experiment to run (table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 ipc ablation particles all)")
 	platform := flag.String("platform", "", "restrict fig6/fig7/ablation to one platform (MareNostrum4 or Thunder)")
 	width := flag.Int("width", 100, "figure-2 timeline width")
 	rows := flag.Int("rows", 24, "figure-2 timeline max rows")
@@ -102,9 +103,16 @@ func run(exp, platform string, width, rows int) error {
 			fmt.Println(f.Format())
 		}
 	}
+	if all || exp == "particles" {
+		out, err := repro.ParticleEngineReport()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
 	if !all {
 		switch exp {
-		case "table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ipc", "ablation":
+		case "table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ipc", "ablation", "particles":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

@@ -49,7 +49,7 @@ func DefaultTable1Options() Table1Options {
 // are first calibrated with a probe run such that a pure-MPI step
 // reproduces the paper's assembly/solver/SGS/particle magnitudes, and
 // the final run is then measured under those units. Ln is independent of
-// the units. See EXPERIMENTS.md.
+// the units. See DESIGN.md (Experiments methodology).
 func Table1(opts Table1Options) (*Table1Result, error) {
 	mc := mesh.DefaultAirwayConfig()
 	mc.Generations = opts.MeshGen

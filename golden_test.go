@@ -1,0 +1,103 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden regression values for RunSimulation(DefaultSimulationConfig()),
+// recorded on linux/amd64 (the CI architecture). The run is fully
+// deterministic — simulated MPI ranks, seeded injection, virtual-time
+// trace — so the particle counts must match exactly; virtual-time totals
+// get a small tolerance only to absorb FMA-contraction differences on
+// other architectures. If a refactor moves these numbers, it changed the
+// physics or the phase accounting and must update the goldens knowingly.
+const (
+	goldenInjected  = 500
+	goldenDeposited = 0
+	goldenExited    = 0
+	goldenActiveEnd = 500
+	goldenMakespan  = 10484.94213
+	goldenTol       = 1e-3 // relative, on virtual-time quantities
+)
+
+// goldenPhaseTotals is the virtual time summed over ranks per phase, in
+// the paper's Table-1 row order.
+var goldenPhaseTotals = map[string]float64{
+	"Matrix assembly": 18069,
+	"SGS":             9395.88,
+	"Solver1":         7332.147,
+	"Solver2":         1837.28727,
+	"Particles":       30,
+}
+
+func TestGoldenRunSimulationDefault(t *testing.T) {
+	res, err := RunSimulation(DefaultSimulationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Result
+	if r.Injected != goldenInjected || r.Deposited != goldenDeposited ||
+		r.Exited != goldenExited || r.ActiveEnd != goldenActiveEnd {
+		t.Errorf("fate counts drifted: injected=%d deposited=%d exited=%d active=%d, want %d/%d/%d/%d",
+			r.Injected, r.Deposited, r.Exited, r.ActiveEnd,
+			goldenInjected, goldenDeposited, goldenExited, goldenActiveEnd)
+	}
+	if rel := math.Abs(r.Makespan-goldenMakespan) / goldenMakespan; rel > goldenTol {
+		t.Errorf("makespan %.10g drifted from golden %.10g (rel %.2g)", r.Makespan, goldenMakespan, rel)
+	}
+
+	phaseTimes := r.Trace.PhaseTimes()
+	totals := make([]float64, len(phaseOrder))
+	for i, ph := range phaseOrder {
+		for _, v := range phaseTimes[ph] {
+			totals[i] += v
+		}
+	}
+	for i, name := range PhaseNames {
+		want := goldenPhaseTotals[name]
+		if want == 0 {
+			t.Fatalf("golden table missing phase %q", name)
+		}
+		if rel := math.Abs(totals[i]-want) / want; rel > goldenTol {
+			t.Errorf("phase %q total %.10g drifted from golden %.10g (rel %.2g)", name, totals[i], want, rel)
+		}
+	}
+
+	// Table-1 phase ordering: the default run must reproduce the paper's
+	// qualitative structure — assembly dominates, SGS and Solver1 follow,
+	// Solver2 is light, and particles are a sliver (their pathology is
+	// imbalance, not volume).
+	order := []string{"Matrix assembly", "SGS", "Solver1", "Solver2", "Particles"}
+	byName := map[string]float64{}
+	for i, name := range PhaseNames {
+		byName[name] = totals[i]
+	}
+	for i := 1; i < len(order); i++ {
+		if byName[order[i]] >= byName[order[i-1]] {
+			t.Errorf("phase ordering drifted: %q (%.6g) should be below %q (%.6g)",
+				order[i], byName[order[i]], order[i-1], byName[order[i-1]])
+		}
+	}
+}
+
+// TestGoldenRunSimulationIsDeterministic guards the property the golden
+// test relies on: two identical runs produce identical results.
+func TestGoldenRunSimulationIsDeterministic(t *testing.T) {
+	a, err := RunSimulation(DefaultSimulationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSimulation(DefaultSimulationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Injected != b.Result.Injected || a.Result.Deposited != b.Result.Deposited ||
+		a.Result.Exited != b.Result.Exited || a.Result.ActiveEnd != b.Result.ActiveEnd {
+		t.Fatal("fate counts differ between identical runs")
+	}
+	if a.Result.Makespan != b.Result.Makespan {
+		t.Fatalf("makespan differs between identical runs: %.12g vs %.12g",
+			a.Result.Makespan, b.Result.Makespan)
+	}
+}

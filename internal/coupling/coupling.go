@@ -213,6 +213,10 @@ func runSynchronous(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 			panic(err)
 		}
 		tk := particles.NewTracker(m, rms[id].Elems, cfg.Species, cfg.Fluid)
+		// The particle phase shards across the same pool DLB resizes, so
+		// cores lent while this rank blocks in MPI speed up its particles
+		// once reclaimed (and vice versa).
+		tk.SetPool(pools[id])
 		peers := haloPeers(rms[id])
 
 		for step := 0; step < cfg.Steps; step++ {
@@ -357,6 +361,7 @@ func runCoupled(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 		pid := id - f
 		rm := partRMs[pid]
 		tk := particles.NewTracker(m, rm.Elems, cfg.Species, cfg.Fluid)
+		tk.SetPool(pools[id])
 		peers := make([]int, 0, len(rm.Halos))
 		for _, h := range rm.Halos {
 			peers = append(peers, h.Peer)

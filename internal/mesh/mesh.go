@@ -187,6 +187,23 @@ func (m *Mesh) TotalVolume() float64 {
 	return tot
 }
 
+// ElemBox returns the axis-aligned bounding box of element e's nodes.
+func (m *Mesh) ElemBox(e int) (lo, hi Vec3) {
+	nodes := m.ElemNodes(e)
+	lo = m.Coords[nodes[0]]
+	hi = lo
+	for _, nd := range nodes[1:] {
+		p := m.Coords[nd]
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		lo.Z = math.Min(lo.Z, p.Z)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+		hi.Z = math.Max(hi.Z, p.Z)
+	}
+	return lo, hi
+}
+
 // BoundingBox returns the axis-aligned bounding box of the mesh nodes.
 func (m *Mesh) BoundingBox() (lo, hi Vec3) {
 	if len(m.Coords) == 0 {

@@ -141,5 +141,5 @@ func (dt *DepositionTracker) Finalize(unclaimed []Particle) {
 			dt.Map.RecordDeposit(p.Pos)
 		}
 	}
-	dt.Map.Airborne = len(dt.Active)
+	dt.Map.Airborne = dt.Active.Len()
 }

@@ -71,16 +71,16 @@ func TestDepositionTrackerBinsWallHits(t *testing.T) {
 	m := airway(t, 0)
 	dt := NewDepositionTracker(m, nil, aerosol(), AirAt20C(), 6)
 	dt.InjectAtInlet(80, 5, mesh.Vec3{Z: -1})
-	injected := len(dt.Active)
+	injected := dt.Active.Len()
 	side := func(node int32) mesh.Vec3 { return mesh.Vec3{X: 50} }
-	for i := 0; i < 300 && len(dt.Active) > 0; i++ {
+	for i := 0; i < 300 && dt.Active.Len() > 0; i++ {
 		dt.Tracker.Step(1e-3, side)
 		dt.Finalize(dt.TakeLost())
 	}
 	if dt.Map.TotalDeposited() != dt.DepositedCount {
 		t.Fatalf("map deposits %d != tracker %d", dt.Map.TotalDeposited(), dt.DepositedCount)
 	}
-	if dt.Map.TotalDeposited()+dt.Map.Exited+len(dt.Active) != injected {
+	if dt.Map.TotalDeposited()+dt.Map.Exited+dt.Active.Len() != injected {
 		t.Fatal("deposition bookkeeping")
 	}
 	// Blown sideways near the inlet: deposits concentrate proximally.

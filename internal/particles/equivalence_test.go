@@ -1,0 +1,144 @@
+package particles
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/tasking"
+)
+
+// swirlField is a deterministic, spatially varying velocity field that
+// advects particles down the airway while pushing some into walls — so a
+// run exercises all three fates.
+func swirlField(m *mesh.Mesh) func(int32) mesh.Vec3 {
+	return func(nd int32) mesh.Vec3 {
+		c := m.Coords[nd]
+		return mesh.Vec3{
+			X: 0.6 * math.Sin(7*c.Z+3*c.Y),
+			Y: 0.6 * math.Cos(5*c.X-2*c.Z),
+			Z: -1.4 - 0.4*math.Sin(3*(c.X+c.Y)),
+		}
+	}
+}
+
+// fateRecord captures everything a tracker run decides about its
+// population.
+type fateRecord struct {
+	injected, active, deposited, exited int
+	work                                int64
+	ids                                 []int64
+	pos                                 []mesh.Vec3
+}
+
+func runLegacy(m *mesh.Mesh, n int, seed int64, steps int) fateRecord {
+	tr := NewLegacyTracker(m, nil, aerosol(), AirAt20C())
+	rec := fateRecord{injected: tr.InjectAtInlet(n, seed, mesh.Vec3{Z: -1})}
+	field := swirlField(m)
+	for i := 0; i < steps; i++ {
+		tr.Step(1e-3, field)
+		tr.Finalize(tr.TakeLost())
+	}
+	rec.active, rec.deposited, rec.exited = tr.Counts()
+	rec.work = tr.WorkUnits
+	for _, p := range tr.Active {
+		rec.ids = append(rec.ids, p.ID)
+		rec.pos = append(rec.pos, p.Pos)
+	}
+	return rec
+}
+
+func runSoA(m *mesh.Mesh, n int, seed int64, steps, workers int) fateRecord {
+	tr := NewTracker(m, nil, aerosol(), AirAt20C())
+	if workers > 0 {
+		pool := tasking.NewPool(workers)
+		defer pool.Close()
+		tr.SetPool(pool)
+	}
+	rec := fateRecord{injected: tr.InjectAtInlet(n, seed, mesh.Vec3{Z: -1})}
+	field := swirlField(m)
+	for i := 0; i < steps; i++ {
+		tr.Step(1e-3, field)
+		tr.Finalize(tr.TakeLost())
+	}
+	rec.active, rec.deposited, rec.exited = tr.Counts()
+	rec.work = tr.WorkUnits
+	rec.ids = append(rec.ids, tr.Active.ID...)
+	rec.pos = append(rec.pos, tr.Active.Pos...)
+	return rec
+}
+
+func compareRecords(t *testing.T, label string, want, got fateRecord) {
+	t.Helper()
+	if got.injected != want.injected || got.active != want.active ||
+		got.deposited != want.deposited || got.exited != want.exited {
+		t.Fatalf("%s: fates differ: got inj=%d act=%d dep=%d exit=%d, want inj=%d act=%d dep=%d exit=%d",
+			label, got.injected, got.active, got.deposited, got.exited,
+			want.injected, want.active, want.deposited, want.exited)
+	}
+	if got.work != want.work {
+		t.Fatalf("%s: work units %d, want %d", label, got.work, want.work)
+	}
+	if len(got.ids) != len(want.ids) {
+		t.Fatalf("%s: %d surviving ids, want %d", label, len(got.ids), len(want.ids))
+	}
+	for i := range want.ids {
+		if got.ids[i] != want.ids[i] {
+			t.Fatalf("%s: survivor %d has id %d, want %d", label, i, got.ids[i], want.ids[i])
+		}
+		if got.pos[i] != want.pos[i] {
+			t.Fatalf("%s: survivor %d (id %d) at %+v, want %+v (not bit-identical)",
+				label, i, got.ids[i], got.pos[i], want.pos[i])
+		}
+	}
+}
+
+// TestParallelSoAEquivalentToLegacySerial is the equivalence property the
+// refactor is held to: for seeded random airway runs, the parallel SoA
+// tracker must report identical fate counts, identical surviving particle
+// IDs in identical order, and bit-identical positions as the seed's
+// serial AoS engine — under 1, 2, 4, and 8 workers.
+func TestParallelSoAEquivalentToLegacySerial(t *testing.T) {
+	m := airway(t, 1)
+	const n, steps = 400, 40
+	for _, seed := range []int64{1, 7, 42} {
+		want := runLegacy(m, n, seed, steps)
+		if want.injected == 0 || want.deposited+want.exited == 0 {
+			t.Fatalf("seed %d: degenerate reference run %+v", seed, want)
+		}
+		// Serial SoA path (no pool).
+		compareRecords(t, "soa-serial", want, runSoA(m, n, seed, steps, 0))
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := runSoA(m, n, seed, steps, workers)
+			compareRecords(t, "soa-parallel", want, got)
+		}
+	}
+}
+
+// TestStepDeterministicAcrossWorkerCounts pins the sharded Step to one
+// outcome regardless of pool size, including mid-run worker resizes (the
+// DLB case).
+func TestStepDeterministicAcrossWorkerCounts(t *testing.T) {
+	m := airway(t, 1)
+	ref := runSoA(m, 300, 11, 25, 1)
+	for _, workers := range []int{2, 3, 4, 8} {
+		compareRecords(t, "workers", ref, runSoA(m, 300, 11, 25, workers))
+	}
+	// Resize the pool between steps: results must not move.
+	tr := NewTracker(m, nil, aerosol(), AirAt20C())
+	pool := tasking.NewPool(8)
+	defer pool.Close()
+	tr.SetPool(pool)
+	rec := fateRecord{injected: tr.InjectAtInlet(300, 11, mesh.Vec3{Z: -1})}
+	field := swirlField(m)
+	for i := 0; i < 25; i++ {
+		pool.SetWorkers(1 + i%8)
+		tr.Step(1e-3, field)
+		tr.Finalize(tr.TakeLost())
+	}
+	rec.active, rec.deposited, rec.exited = tr.Counts()
+	rec.work = tr.WorkUnits
+	rec.ids = append(rec.ids, tr.Active.ID...)
+	rec.pos = append(rec.pos, tr.Active.Pos...)
+	compareRecords(t, "resized", ref, rec)
+}

@@ -30,9 +30,7 @@ func TestInjectAtInletCollectiveNoDuplicates(t *testing.T) {
 	err = world.Run(func(r *simmpi.Rank) {
 		tr := NewTracker(m, elems[r.ID()], aerosol(), AirAt20C())
 		adopted[r.ID()] = InjectAtInletCollective(r.Comm, tr, n, 9, mesh.Vec3{Z: -1})
-		for _, pp := range tr.Active {
-			ids[r.ID()] = append(ids[r.ID()], pp.ID)
-		}
+		ids[r.ID()] = append(ids[r.ID()], tr.Active.ID...)
 	})
 	if err != nil {
 		t.Fatal(err)

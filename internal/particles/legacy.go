@@ -1,0 +1,104 @@
+package particles
+
+import (
+	"repro/internal/mesh"
+)
+
+// LegacyTracker is the seed's serial array-of-structs particle engine,
+// preserved byte-for-byte in behaviour: an AoS []Particle population, a
+// map-bucket locator, and a strictly sequential Step. It is the reference
+// implementation the equivalence suite checks the parallel SoA Tracker
+// against, and the baseline BenchmarkTrackerStep compares throughput
+// against. It is deliberately not optimized.
+type LegacyTracker struct {
+	Mesh    *mesh.Mesh
+	Loc     *Locator
+	Fluid   FluidProps
+	Species Props
+
+	Active []Particle
+	lost   []Particle
+
+	DepositedCount int
+	ExitedCount    int
+	WorkUnits      int64
+
+	outletZ float64
+}
+
+// NewLegacyTracker builds the reference tracker over the given element
+// subset of m (nil = whole mesh), using the legacy map-bucket locator.
+func NewLegacyTracker(m *mesh.Mesh, elems []int32, species Props, fluid FluidProps) *LegacyTracker {
+	return &LegacyTracker{
+		Mesh:    m,
+		Loc:     NewLocatorMap(m, elems, 32),
+		Fluid:   fluid,
+		Species: species,
+		outletZ: outletPlane(m),
+	}
+}
+
+// InjectAtInlet seeds n particles exactly like Tracker.InjectAtInlet:
+// both draw from the same deterministic candidate sequence and assign the
+// same IDs.
+func (t *LegacyTracker) InjectAtInlet(n int, seed int64, vel mesh.Vec3) int {
+	adopted := 0
+	for i, pos := range inletCandidatesFor(t.Mesh, n, seed, vel) {
+		elem, ok := t.Loc.Locate(pos, -1)
+		if !ok {
+			continue
+		}
+		t.Active = append(t.Active, Particle{
+			ID:           int64(i) + seed<<20,
+			NewmarkState: NewmarkState{Pos: pos, Vel: vel},
+			Elem:         elem,
+		})
+		adopted++
+	}
+	return adopted
+}
+
+// Step advances every active particle by dt, serially, in the seed's
+// original AoS loop.
+func (t *LegacyTracker) Step(dt float64, velField func(node int32) mesh.Vec3) {
+	kept := t.Active[:0]
+	for i := range t.Active {
+		p := t.Active[i]
+		uf := t.Loc.InterpolateIDW(int(p.Elem), p.Pos, velField)
+		NewmarkStep(&p.NewmarkState, t.Fluid, t.Species, uf, dt)
+		t.WorkUnits++
+		elem, ok := t.Loc.Locate(p.Pos, p.Elem)
+		if ok {
+			p.Elem = elem
+			kept = append(kept, p)
+			continue
+		}
+		p.Elem = -1
+		t.lost = append(t.lost, p)
+	}
+	t.Active = kept
+}
+
+// TakeLost returns and clears the particles that left the subdomain this
+// step.
+func (t *LegacyTracker) TakeLost() []Particle {
+	l := t.lost
+	t.lost = nil
+	return l
+}
+
+// Finalize classifies unclaimed particles like Tracker.Finalize.
+func (t *LegacyTracker) Finalize(unclaimed []Particle) {
+	for _, p := range unclaimed {
+		if p.Pos.Z <= t.outletZ {
+			t.ExitedCount++
+		} else {
+			t.DepositedCount++
+		}
+	}
+}
+
+// Counts summarizes the tracker population.
+func (t *LegacyTracker) Counts() (active, deposited, exited int) {
+	return len(t.Active), t.DepositedCount, t.ExitedCount
+}

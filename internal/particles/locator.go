@@ -8,8 +8,17 @@ import (
 
 // Locator finds the mesh element containing a point, restricted to a
 // subset of elements (an MPI rank's subdomain). It uses a uniform spatial
-// hash over element bounding boxes plus exact point-in-tetrahedron tests
+// grid over element bounding boxes plus exact point-in-tetrahedron tests
 // on each element's tet decomposition.
+//
+// Two grid representations are available. The default is a CSR-style flat
+// grid: one offset slice plus one index slice holding the precomputed
+// per-cell candidate lists contiguously, so a lookup is two slice reads
+// with no hashing and no pointer chasing. The seed's map[int][]int32
+// buckets are kept behind NewLocatorMap for A/B benchmarking
+// (BenchmarkLocatorFlat vs BenchmarkLocatorMap). Both representations
+// enumerate each cell's candidates in identical order, so Locate results
+// are bit-for-bit interchangeable.
 type Locator struct {
 	m     *mesh.Mesh
 	elems []int32 // element subset (global ids)
@@ -18,14 +27,41 @@ type Locator struct {
 	cell    float64
 	nx, ny  int
 	nz      int
-	buckets map[int][]int32
 	tol     float64
+
+	// Flat CSR grid (default): cell k's candidates are
+	// cellElems[cellPtr[k]:cellPtr[k+1]]. Only a build-time intermediate:
+	// buildNeighborhoods folds it into the union lists below and releases
+	// it, so a live flat locator holds just unionPtr/unionElems.
+	cellPtr   []int32
+	cellElems []int32
+	// Precomputed per-cell neighborhood lists: cell k's own candidates
+	// followed by its 26 neighbors', in the exact order the legacy scan
+	// visits them, with later duplicates dropped. A flat-grid Locate walks
+	// this one list instead of up to 27 bucket lookups; dropping a
+	// duplicate never changes the first Contains hit, so results are
+	// identical to the nested scan.
+	unionPtr   []int32
+	unionElems []int32
+
+	// Legacy map buckets (nil unless built with NewLocatorMap).
+	buckets map[int][]int32
 }
 
-// NewLocator builds a locator over the given elements of m; pass nil to
-// cover the whole mesh. cellsPerAxis controls grid resolution (16-64 is
-// reasonable; it is clamped to at least 4).
+// NewLocator builds a flat-grid locator over the given elements of m;
+// pass nil to cover the whole mesh. cellsPerAxis controls grid resolution
+// (16-64 is reasonable; it is clamped to at least 4).
 func NewLocator(m *mesh.Mesh, elems []int32, cellsPerAxis int) *Locator {
+	return newLocator(m, elems, cellsPerAxis, false)
+}
+
+// NewLocatorMap builds a locator using the legacy map-bucket grid. It
+// locates identically to NewLocator and exists for A/B comparison.
+func NewLocatorMap(m *mesh.Mesh, elems []int32, cellsPerAxis int) *Locator {
+	return newLocator(m, elems, cellsPerAxis, true)
+}
+
+func newLocator(m *mesh.Mesh, elems []int32, cellsPerAxis int, useMap bool) *Locator {
 	if elems == nil {
 		elems = make([]int32, m.NumElems())
 		for i := range elems {
@@ -41,39 +77,116 @@ func NewLocator(m *mesh.Mesh, elems []int32, cellsPerAxis int) *Locator {
 		span = 1
 	}
 	l := &Locator{
-		m:       m,
-		elems:   elems,
-		origin:  lo,
-		cell:    span / float64(cellsPerAxis),
-		buckets: make(map[int][]int32),
-		tol:     1e-9 * span,
+		m:      m,
+		elems:  elems,
+		origin: lo,
+		cell:   span / float64(cellsPerAxis),
+		tol:    1e-9 * span,
 	}
 	l.nx = int((hi.X-lo.X)/l.cell) + 2
 	l.ny = int((hi.Y-lo.Y)/l.cell) + 2
 	l.nz = int((hi.Z-lo.Z)/l.cell) + 2
-	for _, e := range elems {
-		elo, ehi := l.elemBox(int(e))
+	if useMap {
+		l.buckets = make(map[int][]int32)
+		for _, e := range elems {
+			elo, ehi := m.ElemBox(int(e))
+			l.forCells(elo, ehi, func(key int) {
+				l.buckets[key] = append(l.buckets[key], e)
+			})
+		}
+		return l
+	}
+	// CSR build: count entries per cell, prefix-sum, then fill. The fill
+	// pass walks elems in the same order as the map build appends, so each
+	// cell's candidate list is ordered identically in both representations.
+	// Element boxes are cached between the two passes so the node sweep in
+	// ElemBox runs once per element, as in the map build.
+	ncells := l.nx * l.ny * l.nz
+	counts := make([]int32, ncells+1)
+	boxes := make([][2]mesh.Vec3, len(elems))
+	for i, e := range elems {
+		elo, ehi := m.ElemBox(int(e))
+		boxes[i] = [2]mesh.Vec3{elo, ehi}
 		l.forCells(elo, ehi, func(key int) {
-			l.buckets[key] = append(l.buckets[key], e)
+			counts[key+1]++
 		})
 	}
+	for k := 0; k < ncells; k++ {
+		counts[k+1] += counts[k]
+	}
+	l.cellPtr = counts
+	l.cellElems = make([]int32, l.cellPtr[ncells])
+	next := make([]int32, ncells)
+	copy(next, l.cellPtr[:ncells])
+	for i, e := range elems {
+		l.forCells(boxes[i][0], boxes[i][1], func(key int) {
+			l.cellElems[next[key]] = e
+			next[key]++
+		})
+	}
+	l.buildNeighborhoods(ncells)
 	return l
 }
 
-func (l *Locator) elemBox(e int) (lo, hi mesh.Vec3) {
-	nodes := l.m.ElemNodes(e)
-	lo = l.m.Coords[nodes[0]]
-	hi = lo
-	for _, nd := range nodes[1:] {
-		p := l.m.Coords[nd]
-		lo.X = math.Min(lo.X, p.X)
-		lo.Y = math.Min(lo.Y, p.Y)
-		lo.Z = math.Min(lo.Z, p.Z)
-		hi.X = math.Max(hi.X, p.X)
-		hi.Y = math.Max(hi.Y, p.Y)
-		hi.Z = math.Max(hi.Z, p.Z)
+// buildNeighborhoods precomputes each cell's deduplicated candidate list
+// over the cell plus its 26 neighbors, preserving the legacy scan order
+// (center cell first, then offsets in dz, dy, dx order).
+func (l *Locator) buildNeighborhoods(ncells int) {
+	l.unionPtr = make([]int32, ncells+1)
+	stamp := make([]int32, l.m.NumElems())
+	for i := range stamp {
+		stamp[i] = -1
 	}
-	return lo, hi
+	// Each per-cell entry lands in at most 27 neighborhood lists (domain
+	// edges and dedup only shrink that), so this capacity is a true upper
+	// bound: the append below never grows-and-copies. A final exact-size
+	// copy keeps the retained slice tight.
+	union := make([]int32, 0, 27*len(l.cellElems))
+	appendCell := func(key int32, x, y, z int) {
+		if x < 0 || y < 0 || z < 0 || x >= l.nx || y >= l.ny || z >= l.nz {
+			return
+		}
+		k := l.key(x, y, z)
+		for _, e := range l.cellElems[l.cellPtr[k]:l.cellPtr[k+1]] {
+			if stamp[e] == key {
+				continue
+			}
+			stamp[e] = key
+			union = append(union, e)
+		}
+	}
+	// The loop nest visits keys in increasing order, so unionPtr can be
+	// finalized cell by cell.
+	for iz := 0; iz < l.nz; iz++ {
+		for iy := 0; iy < l.ny; iy++ {
+			for ix := 0; ix < l.nx; ix++ {
+				key := int32(l.key(ix, iy, iz))
+				appendCell(key, ix, iy, iz)
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							appendCell(key, ix+dx, iy+dy, iz+dz)
+						}
+					}
+				}
+				l.unionPtr[key+1] = int32(len(union))
+			}
+		}
+	}
+	l.unionElems = append(make([]int32, 0, len(union)), union...)
+	// The per-cell CSR was only needed to build the union lists; Locate
+	// reads unionPtr/unionElems exclusively, so release the intermediate
+	// rather than keeping it alive per rank.
+	l.cellPtr, l.cellElems = nil, nil
+}
+
+// candidates returns a grid cell's candidate list in map mode; the flat
+// path never reaches it (Locate serves flat lookups from unionElems).
+func (l *Locator) candidates(key int) []int32 {
+	return l.buckets[key]
 }
 
 func (l *Locator) cellIndex(p mesh.Vec3) (ix, iy, iz int) {
@@ -144,7 +257,18 @@ func (l *Locator) Locate(p mesh.Vec3, hint int32) (int32, bool) {
 	if ix < 0 || iy < 0 || iz < 0 || ix >= l.nx || iy >= l.ny || iz >= l.nz {
 		return -1, false
 	}
-	for _, e := range l.buckets[l.key(ix, iy, iz)] {
+	if l.buckets == nil {
+		// Flat grid: one precomputed neighborhood list covers the cell and
+		// its 26 neighbors in legacy scan order, duplicates removed.
+		k := l.key(ix, iy, iz)
+		for _, e := range l.unionElems[l.unionPtr[k]:l.unionPtr[k+1]] {
+			if l.Contains(int(e), p) {
+				return e, true
+			}
+		}
+		return -1, false
+	}
+	for _, e := range l.candidates(l.key(ix, iy, iz)) {
 		if l.Contains(int(e), p) {
 			return e, true
 		}
@@ -160,7 +284,7 @@ func (l *Locator) Locate(p mesh.Vec3, hint int32) (int32, bool) {
 				if x < 0 || y < 0 || z < 0 || x >= l.nx || y >= l.ny || z >= l.nz {
 					continue
 				}
-				for _, e := range l.buckets[l.key(x, y, z)] {
+				for _, e := range l.candidates(l.key(x, y, z)) {
 					if l.Contains(int(e), p) {
 						return e, true
 					}

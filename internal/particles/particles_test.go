@@ -219,9 +219,9 @@ func TestInjectAtInlet(t *testing.T) {
 		inletZ += m.Coords[nd].Z
 	}
 	inletZ /= float64(len(m.InletNodes))
-	for _, p := range tr.Active {
-		if math.Abs(p.Pos.Z-inletZ) > 0.02*math.Abs(inletZ)+1e-3 {
-			t.Fatalf("particle at z=%g far from inlet z=%g", p.Pos.Z, inletZ)
+	for _, pos := range tr.Active.Pos {
+		if math.Abs(pos.Z-inletZ) > 0.02*math.Abs(inletZ)+1e-3 {
+			t.Fatalf("particle at z=%g far from inlet z=%g", pos.Z, inletZ)
 		}
 	}
 }
@@ -230,15 +230,15 @@ func TestTrackerStepMovesParticlesDownstream(t *testing.T) {
 	m := airway(t, 1)
 	tr := NewTracker(m, nil, aerosol(), AirAt20C())
 	tr.InjectAtInlet(100, 2, mesh.Vec3{Z: -0.5})
-	z0 := meanZ(tr.Active)
+	z0 := meanZ(tr.Active.Pos)
 	down := func(node int32) mesh.Vec3 { return mesh.Vec3{Z: -1.0} } // steady downward flow
 	for i := 0; i < 50; i++ {
 		tr.Step(1e-3, down)
 	}
-	if len(tr.Active) == 0 {
+	if tr.Active.Len() == 0 {
 		t.Fatal("all particles lost after 50 steps")
 	}
-	if z1 := meanZ(tr.Active); z1 >= z0 {
+	if z1 := meanZ(tr.Active.Pos); z1 >= z0 {
 		t.Fatalf("particles did not move downstream: %g -> %g", z0, z1)
 	}
 	if tr.WorkUnits == 0 {
@@ -246,27 +246,27 @@ func TestTrackerStepMovesParticlesDownstream(t *testing.T) {
 	}
 }
 
-func meanZ(ps []Particle) float64 {
+func meanZ(pos []mesh.Vec3) float64 {
 	z := 0.0
-	for _, p := range ps {
-		z += p.Pos.Z
+	for _, p := range pos {
+		z += p.Z
 	}
-	return z / float64(len(ps))
+	return z / float64(len(pos))
 }
 
 func TestTrackerLostAndFinalize(t *testing.T) {
 	m := airway(t, 0)
 	tr := NewTracker(m, nil, aerosol(), AirAt20C())
 	tr.InjectAtInlet(50, 3, mesh.Vec3{Z: -1})
-	injected := len(tr.Active)
+	injected := tr.Active.Len()
 	// Blast particles sideways so they hit the wall.
 	side := func(node int32) mesh.Vec3 { return mesh.Vec3{X: 50} }
-	for i := 0; i < 200 && len(tr.Active) > 0; i++ {
+	for i := 0; i < 200 && tr.Active.Len() > 0; i++ {
 		tr.Step(1e-3, side)
 		tr.Finalize(tr.TakeLost())
 	}
 	if tr.DepositedCount == 0 {
-		t.Fatalf("no particles deposited (injected %d, still active %d)", injected, len(tr.Active))
+		t.Fatalf("no particles deposited (injected %d, still active %d)", injected, tr.Active.Len())
 	}
 	a, d, e := tr.Counts()
 	if a+d+e != injected {

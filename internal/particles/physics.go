@@ -116,6 +116,23 @@ type NewmarkState struct {
 	Pos, Vel, Acc mesh.Vec3
 }
 
+// newmarkConsts holds the per-(fluid, species) invariants of NewmarkStep.
+// The SoA tracker hoists them out of its population sweep — one
+// computation per step instead of one per particle — with bit-identical
+// results, since the hoisted values are produced by exactly the
+// expressions NewmarkStep evaluates inline.
+type newmarkConsts struct {
+	mass float64
+	grav mesh.Vec3 // gravity + buoyancy resultant
+}
+
+func newmarkConstsFor(f FluidProps, p Props) newmarkConsts {
+	return newmarkConsts{
+		mass: p.Mass(),
+		grav: GravityForce(f, p).Add(BuoyancyForce(f, p)),
+	}
+}
+
 // NewmarkStep advances the state by dt in fluid velocity uf under drag,
 // gravity and buoyancy. The trapezoidal velocity update
 //
@@ -127,8 +144,12 @@ type NewmarkState struct {
 // (aerosols at the paper's dt = 1e-4 s have tau ~ 3e-4 s), where a naive
 // fixed-point on the force diverges.
 func NewmarkStep(st *NewmarkState, f FluidProps, p Props, uf mesh.Vec3, dt float64) {
-	mass := p.Mass()
-	grav := GravityForce(f, p).Add(BuoyancyForce(f, p))
+	newmarkStepPre(st, f, p, newmarkConstsFor(f, p), uf, dt)
+}
+
+func newmarkStepPre(st *NewmarkState, f FluidProps, p Props, pre newmarkConsts, uf mesh.Vec3, dt float64) {
+	mass := pre.mass
+	grav := pre.grav
 	a0 := st.Acc
 	v1 := st.Vel
 	for it := 0; it < 8; it++ {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mesh"
+	"repro/internal/tasking"
 )
 
 // State classifies a particle's fate.
@@ -19,22 +20,33 @@ const (
 	Exited                 // left through an outlet (reached the deep lung)
 )
 
-// Particle is one Lagrangian particle.
+// Particle is one Lagrangian particle in AoS form, used at the system's
+// edges: transport encoding, migration, tests. The tracker itself keeps
+// its population in a ParticleStore.
 type Particle struct {
 	ID int64
 	NewmarkState
 	Elem int32 // containing element (global id), -1 if unknown
 }
 
+// stepShardSize is the fixed index-range width of one parallel Step
+// shard. It is independent of the worker count so the shard structure is
+// identical however many workers execute the shards.
+const stepShardSize = 256
+
 // Tracker advances the particles living in one subdomain (or the whole
-// mesh when elems is nil).
+// mesh when elems is nil). Its population lives in a structure-of-arrays
+// ParticleStore, and Step shards the population across an optional
+// tasking.Pool (SetPool); results are bit-identical for any worker count
+// because every particle's physics is independent and the post-step
+// compaction merges shard outcomes in index order.
 type Tracker struct {
 	Mesh    *mesh.Mesh
 	Loc     *Locator
 	Fluid   FluidProps
 	Species Props
 
-	Active []Particle
+	Active *ParticleStore
 	lost   []Particle
 
 	// Fate counters.
@@ -42,8 +54,12 @@ type Tracker struct {
 	ExitedCount    int
 
 	// WorkUnits counts particle-steps performed — the per-rank load of
-	// the particle phase used for Table 1's Ln accounting.
+	// the particle phase used for Table 1's Ln accounting and as DLB's
+	// work-unit measure for the particle phase.
 	WorkUnits int64
+
+	pool  *tasking.Pool
+	fates []uint8 // per-particle step outcome scratch (0=kept, 1=lost)
 
 	outletZ float64 // particles lost below this height exited, not deposited
 	nextID  int64
@@ -57,28 +73,40 @@ func NewTracker(m *mesh.Mesh, elems []int32, species Props, fluid FluidProps) *T
 		Loc:     NewLocator(m, elems, 32),
 		Fluid:   fluid,
 		Species: species,
-		outletZ: math.Inf(-1),
-	}
-	if len(m.OutletNodes) > 0 {
-		z := 0.0
-		for _, nd := range m.OutletNodes {
-			z += m.Coords[nd].Z
-		}
-		t.outletZ = z/float64(len(m.OutletNodes)) + 1e-9
+		Active:  &ParticleStore{},
+		outletZ: outletPlane(m),
 	}
 	return t
 }
 
-// inletCandidates generates the deterministic injection positions for a
-// given (n, seed): the same sequence on every rank.
-func (t *Tracker) inletCandidates(n int, seed int64, vel mesh.Vec3) []mesh.Vec3 {
-	inlet := t.Mesh.InletNodes
+// SetPool attaches a worker pool; Step then shards the population across
+// it. A nil pool (the default) keeps Step serial.
+func (t *Tracker) SetPool(p *tasking.Pool) { t.pool = p }
+
+// outletPlane computes the height below which a lost particle counts as
+// exited rather than deposited.
+func outletPlane(m *mesh.Mesh) float64 {
+	if len(m.OutletNodes) == 0 {
+		return math.Inf(-1)
+	}
+	z := 0.0
+	for _, nd := range m.OutletNodes {
+		z += m.Coords[nd].Z
+	}
+	return z/float64(len(m.OutletNodes)) + 1e-9
+}
+
+// inletCandidatesFor generates the deterministic injection positions for
+// a given (n, seed): the same sequence on every rank and for every
+// tracker implementation.
+func inletCandidatesFor(m *mesh.Mesh, n int, seed int64, vel mesh.Vec3) []mesh.Vec3 {
+	inlet := m.InletNodes
 	if len(inlet) == 0 {
 		return nil
 	}
 	var centroid mesh.Vec3
 	for _, nd := range inlet {
-		centroid = centroid.Add(t.Mesh.Coords[nd])
+		centroid = centroid.Add(m.Coords[nd])
 	}
 	centroid = centroid.Scale(1 / float64(len(inlet)))
 	rng := rand.New(rand.NewSource(seed))
@@ -88,7 +116,7 @@ func (t *Tracker) inletCandidates(n int, seed int64, vel mesh.Vec3) []mesh.Vec3 
 		// centroid, pushed slightly inward along the initial velocity.
 		nd := inlet[rng.Intn(len(inlet))]
 		a := 0.15 + 0.7*rng.Float64()
-		pos := t.Mesh.Coords[nd].Scale(1 - a).Add(centroid.Scale(a))
+		pos := m.Coords[nd].Scale(1 - a).Add(centroid.Scale(a))
 		if vn := vel.Norm(); vn > 0 {
 			pos = pos.Add(vel.Scale(1e-6 / vn))
 		}
@@ -97,8 +125,14 @@ func (t *Tracker) inletCandidates(n int, seed int64, vel mesh.Vec3) []mesh.Vec3 
 	return out
 }
 
+// inletCandidates generates the deterministic injection positions for a
+// given (n, seed): the same sequence on every rank.
+func (t *Tracker) inletCandidates(n int, seed int64, vel mesh.Vec3) []mesh.Vec3 {
+	return inletCandidatesFor(t.Mesh, n, seed, vel)
+}
+
 func (t *Tracker) adopt(i int, pos mesh.Vec3, vel mesh.Vec3, elem int32, seed int64) {
-	t.Active = append(t.Active, Particle{
+	t.Active.Append(Particle{
 		ID:           int64(i) + seed<<20,
 		NewmarkState: NewmarkState{Pos: pos, Vel: vel},
 		Elem:         elem,
@@ -130,23 +164,64 @@ func (t *Tracker) InjectAtInlet(n int, seed int64, vel mesh.Vec3) int {
 // field (global node id -> fluid velocity). Particles that leave the
 // subdomain move to the lost list; call TakeLost / Absorb (or Migrate)
 // afterwards.
+//
+// With a pool attached the population is sharded into fixed-size index
+// ranges executed concurrently; each shard records fates for its own
+// disjoint index range, and the subsequent merge walks indices in order,
+// so counts, IDs and even floating-point results match the serial path
+// exactly under any worker count.
 func (t *Tracker) Step(dt float64, velField func(node int32) mesh.Vec3) {
-	kept := t.Active[:0]
-	for i := range t.Active {
-		p := t.Active[i]
-		uf := t.Loc.InterpolateIDW(int(p.Elem), p.Pos, velField)
-		NewmarkStep(&p.NewmarkState, t.Fluid, t.Species, uf, dt)
-		t.WorkUnits++
-		elem, ok := t.Loc.Locate(p.Pos, p.Elem)
-		if ok {
-			p.Elem = elem
-			kept = append(kept, p)
-			continue
-		}
-		p.Elem = -1
-		t.lost = append(t.lost, p)
+	s := t.Active
+	n := s.Len()
+	if n == 0 {
+		return
 	}
-	t.Active = kept
+	if cap(t.fates) < n {
+		t.fates = make([]uint8, n)
+	}
+	fates := t.fates[:n]
+
+	pre := newmarkConstsFor(t.Fluid, t.Species)
+	advance := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st := NewmarkState{Pos: s.Pos[i], Vel: s.Vel[i], Acc: s.Acc[i]}
+			uf := t.Loc.InterpolateIDW(int(s.Elem[i]), st.Pos, velField)
+			newmarkStepPre(&st, t.Fluid, t.Species, pre, uf, dt)
+			s.Pos[i], s.Vel[i], s.Acc[i] = st.Pos, st.Vel, st.Acc
+			if elem, ok := t.Loc.Locate(st.Pos, s.Elem[i]); ok {
+				s.Elem[i] = elem
+				fates[i] = 0
+			} else {
+				s.Elem[i] = -1
+				fates[i] = 1
+			}
+		}
+	}
+	if t.pool != nil && n > stepShardSize {
+		t.pool.ParallelFor(n, stepShardSize, advance)
+	} else {
+		advance(0, n)
+	}
+	t.WorkUnits += int64(n)
+
+	// Deterministic merge: each shard recorded fates for its own disjoint
+	// index range; walk them in index order regardless of which worker
+	// produced them.
+	nLost := 0
+	for _, f := range fates {
+		if f != 0 {
+			nLost++
+		}
+	}
+	if nLost == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if fates[i] != 0 {
+			t.lost = append(t.lost, s.At(i))
+		}
+	}
+	s.Compact(func(i int) bool { return fates[i] == 0 })
 }
 
 // TakeLost returns and clears the particles that left the subdomain this
@@ -165,7 +240,7 @@ func (t *Tracker) Absorb(ps []Particle) int {
 	for _, p := range ps {
 		if elem, ok := t.Loc.Locate(p.Pos, -1); ok {
 			p.Elem = elem
-			t.Active = append(t.Active, p)
+			t.Active.Append(p)
 			adopted++
 		}
 	}
@@ -187,13 +262,13 @@ func (t *Tracker) Finalize(unclaimed []Particle) {
 
 // Counts summarizes the tracker population.
 func (t *Tracker) Counts() (active, deposited, exited int) {
-	return len(t.Active), t.DepositedCount, t.ExitedCount
+	return t.Active.Len(), t.DepositedCount, t.ExitedCount
 }
 
 // String describes the tracker state.
 func (t *Tracker) String() string {
 	return fmt.Sprintf("tracker{active=%d lost=%d deposited=%d exited=%d work=%d}",
-		len(t.Active), len(t.lost), t.DepositedCount, t.ExitedCount, t.WorkUnits)
+		t.Active.Len(), len(t.lost), t.DepositedCount, t.ExitedCount, t.WorkUnits)
 }
 
 // encodeParticles flattens particles for transport (10 float64 each:

@@ -20,8 +20,10 @@
 //   - Performance model (Table1, Figure2, Figure6..Figure11, IPC): the
 //     paper's evaluation regenerated at cluster scale by combining real
 //     work distributions with architecture profiles calibrated from the
-//     measurements the paper itself reports. See DESIGN.md and
-//     EXPERIMENTS.md.
+//     measurements the paper itself reports.
+//
+// DESIGN.md documents the two-layer architecture, the SoA particle
+// engine, and the experiments methodology.
 package repro
 
 import (
