@@ -154,6 +154,59 @@ func BenchmarkAssemblyAtomics4(b *testing.B)  { benchAssemblyStrategy(b, tasking
 func BenchmarkAssemblyColoring4(b *testing.B) { benchAssemblyStrategy(b, tasking.StrategyColoring, 4) }
 func BenchmarkAssemblyMultidep4(b *testing.B) { benchAssemblyStrategy(b, tasking.StrategyMultidep, 4) }
 
+// --- threaded solver phases: full Step at 1/2/4 workers ---
+
+// BenchmarkSolverStepWorkers times the complete fractional-step update
+// (assembly + BiCGSTAB momentum + PCG pressure + projection + SGS) on a
+// single rank, with every phase — including the la kernels this PR
+// threads — running on pools of different sizes. Results are
+// bit-identical across the worker counts (the ParOps determinism
+// contract), so the sub-benchmarks are directly comparable.
+func BenchmarkSolverStepWorkers(b *testing.B) {
+	mc := mesh.DefaultAirwayConfig()
+	mc.Generations = 3
+	m, err := mesh.GenerateAirway(mc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dual := m.DualByNode()
+	p, err := partition.KWay(dual, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rms, err := partition.BuildRankMeshes(m, p.Parts, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			world, err := simmpi.NewWorld(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := navierstokes.DefaultConfig()
+			err = world.Run(func(r *simmpi.Rank) {
+				pool := tasking.NewPool(workers)
+				defer pool.Close()
+				s, err := navierstokes.NewSolver(m, rms[0], r.Comm, pool, cfg, navierstokes.DefaultCostModel(), nil)
+				if err != nil {
+					panic(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Step(); err != nil {
+						panic(err)
+					}
+				}
+				b.StopTimer()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // --- particle engine: locator grid and tracker step A/B ---
 
 // benchParticleMesh is the default benchmark mesh for the particle

@@ -7,9 +7,10 @@
 //	benchfig -exp table1      # one experiment
 //	benchfig -exp fig6 -platform Thunder
 //	benchfig -exp particles   # particle engine A/B (locator, tracker)
+//	benchfig -exp solver      # threaded la kernel A/B (SpMV, PCG, drag)
 //
 // Experiments: table1, fig2, fig6, fig7, fig8, fig9, fig10, fig11, ipc,
-// ablation, particles, all.
+// ablation, particles, solver, all.
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 ipc ablation particles all)")
+	exp := flag.String("exp", "all", "experiment to run (table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 ipc ablation particles solver all)")
 	platform := flag.String("platform", "", "restrict fig6/fig7/ablation to one platform (MareNostrum4 or Thunder)")
 	width := flag.Int("width", 100, "figure-2 timeline width")
 	rows := flag.Int("rows", 24, "figure-2 timeline max rows")
@@ -110,9 +111,16 @@ func run(exp, platform string, width, rows int) error {
 		}
 		fmt.Println(out)
 	}
+	if all || exp == "solver" {
+		out, err := repro.SolverKernelReport()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
 	if !all {
 		switch exp {
-		case "table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ipc", "ablation", "particles":
+		case "table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ipc", "ablation", "particles", "solver":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

@@ -12,12 +12,18 @@ import (
 // get a small tolerance only to absorb FMA-contraction differences on
 // other architectures. If a refactor moves these numbers, it changed the
 // physics or the phase accounting and must update the goldens knowingly.
+// (Re-pinned once with the threaded-solver PR: correctVelocity's
+// compute-parallel staging sums each element's quadrature contributions
+// before the nodal scatter, which shifted Solver2's iterate bits — and
+// its iteration counts — by one float-association change. Counts and
+// every other phase total were unchanged; results remain bit-identical
+// at any worker count.)
 const (
 	goldenInjected  = 500
 	goldenDeposited = 0
 	goldenExited    = 0
 	goldenActiveEnd = 500
-	goldenMakespan  = 10484.94213
+	goldenMakespan  = 10483.06581
 	goldenTol       = 1e-3 // relative, on virtual-time quantities
 )
 
@@ -27,7 +33,7 @@ var goldenPhaseTotals = map[string]float64{
 	"Matrix assembly": 18069,
 	"SGS":             9395.88,
 	"Solver1":         7332.147,
-	"Solver2":         1837.28727,
+	"Solver2":         1830.91149,
 	"Particles":       30,
 }
 

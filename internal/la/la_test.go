@@ -267,31 +267,3 @@ func TestPCGResidualQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-func BenchmarkSpMV(b *testing.B) {
-	a := laplacian1D(10000)
-	x := make([]float64, a.N)
-	y := make([]float64, a.N)
-	for i := range x {
-		x[i] = float64(i)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a.MulVec(x, y)
-	}
-}
-
-func BenchmarkPCG(b *testing.B) {
-	a := laplacian1D(2000)
-	rhs := make([]float64, a.N)
-	rhs[a.N/2] = 1
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		x := make([]float64, a.N)
-		if _, err := PCG(OpsFromMatrix(a), IdentityPreconditioner, rhs, x, 1e-8, 5000); err != nil {
-			b.Fatal(err)
-		}
-	}
-}

@@ -1,0 +1,201 @@
+package la
+
+import "math"
+
+// This file is the pool-aware kernel layer: the Krylov solver phases
+// (the paper's Solver1/Solver2, which Table 1 shows dominating per-step
+// runtime) are memory-bound SpMV and reduction loops, and on an Arm
+// node they only scale if every rank's kernels use the rank's thread
+// team. ParOps runs them over a tasking.Pool with a determinism
+// contract strong enough for the golden regression suite:
+//
+//   - MulVec is row-blocked; each row is reduced serially by exactly
+//     one worker, so the result is bit-identical to the serial kernel.
+//   - Dot/Norm2/MaskedDot use fixed-size chunks (reductionChunk
+//     entries, independent of the worker count): workers compute
+//     per-chunk partial sums, and the partials are combined serially in
+//     ascending chunk order. The result is bit-identical at any worker
+//     count — including mid-solve DLB resizes — and equal to the serial
+//     reference DotChunked.
+//   - Axpy/Range are element-wise with disjoint writes, so they are
+//     bit-identical to serial by construction.
+
+// Runner is the slice of tasking.Pool the kernels need. It is declared
+// here so la does not depend on the tasking package; *tasking.Pool
+// satisfies it. ParallelFor with grain > 0 must execute body over the
+// fixed chunks [k*grain, min((k+1)*grain, n)) exactly once each.
+type Runner interface {
+	ParallelFor(n, grain int, body func(lo, hi int))
+}
+
+const (
+	// reductionChunk is the fixed reduction chunk size. It is part of
+	// the numerical contract (it fixes the combination tree of every
+	// inner product), so changing it changes solver iterates in the
+	// last bits and may require re-pinning goldens.
+	reductionChunk = 4096
+	// parMinN is the smallest n worth fanning out; below it the fork
+	// overhead exceeds the loop. Serial and parallel paths produce the
+	// same bits, so this threshold is purely a performance knob.
+	parMinN = 4096
+	// mulVecRowGrain is the row-block size for parallel MulVec.
+	mulVecRowGrain = 256
+)
+
+// ParOps executes the la kernels on an optional worker pool. The zero
+// of *ParOps is valid: a nil *ParOps (or one built with a nil Runner)
+// runs everything serially, so call sites never need nil checks. A
+// ParOps is not safe for concurrent use by multiple goroutines (it
+// reuses a partials scratch buffer); each solver rank owns its own.
+type ParOps struct {
+	pool     Runner
+	partials []float64
+}
+
+// NewParOps returns a kernel layer over pool; pool may be nil for a
+// serial layer.
+func NewParOps(pool Runner) *ParOps { return &ParOps{pool: pool} }
+
+// threaded reports whether a loop of n iterations should fan out.
+func (o *ParOps) threaded(n int) bool {
+	return o != nil && o.pool != nil && n >= parMinN
+}
+
+// scratch returns a partials buffer with at least nChunks slots.
+func (o *ParOps) scratch(nChunks int) []float64 {
+	if cap(o.partials) < nChunks {
+		o.partials = make([]float64, nChunks)
+	}
+	return o.partials[:nChunks]
+}
+
+// MulVec computes y = A x, row-blocked over the pool. Bit-identical to
+// the serial CSRMatrix.MulVec at any worker count.
+func (o *ParOps) MulVec(a *CSRMatrix, x, y []float64) {
+	if !o.threaded(a.N) {
+		a.MulVec(x, y)
+		return
+	}
+	o.pool.ParallelFor(a.N, mulVecRowGrain, func(lo, hi int) {
+		a.mulVecRows(x, y, lo, hi)
+	})
+}
+
+// Dot computes the inner product with the fixed-chunk deterministic
+// reduction; the result equals DotChunked(x, y) bit for bit at any
+// worker count.
+func (o *ParOps) Dot(x, y []float64) float64 {
+	if !o.threaded(len(x)) {
+		return DotChunked(x, y)
+	}
+	parts := o.scratch(numChunks(len(x)))
+	o.pool.ParallelFor(len(x), reductionChunk, func(lo, hi int) {
+		parts[lo/reductionChunk] = dotRange(x, y, lo, hi)
+	})
+	return sumOrdered(parts)
+}
+
+// MaskedDot computes sum_{i: mask[i]} x[i]*y[i] with the same
+// fixed-chunk scheme; it equals MaskedDotChunked bit for bit at any
+// worker count. This is the per-rank piece of the solver's owned-node
+// inner product.
+func (o *ParOps) MaskedDot(mask []bool, x, y []float64) float64 {
+	if !o.threaded(len(x)) {
+		return MaskedDotChunked(mask, x, y)
+	}
+	parts := o.scratch(numChunks(len(x)))
+	o.pool.ParallelFor(len(x), reductionChunk, func(lo, hi int) {
+		parts[lo/reductionChunk] = maskedDotRange(mask, x, y, lo, hi)
+	})
+	return sumOrdered(parts)
+}
+
+// Norm2 returns the Euclidean norm via the deterministic Dot.
+func (o *ParOps) Norm2(x []float64) float64 { return math.Sqrt(o.Dot(x, x)) }
+
+// Axpy computes y += alpha*x in parallel; element-wise, so bit-identical
+// to the serial Axpy.
+func (o *ParOps) Axpy(alpha float64, x, y []float64) {
+	if !o.threaded(len(x)) {
+		Axpy(alpha, x, y)
+		return
+	}
+	o.pool.ParallelFor(len(x), 0, func(lo, hi int) {
+		axpyRange(alpha, x, y, lo, hi)
+	})
+}
+
+// Range runs body over [0,n) on the pool, or inline when the layer is
+// serial or n is small. It is the escape hatch for the solvers' fused
+// element-wise recurrences; bodies must write disjoint indices.
+func (o *ParOps) Range(n int, body func(lo, hi int)) {
+	if !o.threaded(n) {
+		body(0, n)
+		return
+	}
+	o.pool.ParallelFor(n, 0, body)
+}
+
+// DotChunked is the serial reference for the deterministic reduction:
+// per-chunk partial sums combined in ascending chunk order. For
+// len(x) <= reductionChunk it degenerates to the plain left-to-right
+// Dot fold.
+func DotChunked(x, y []float64) float64 {
+	s := 0.0
+	for lo := 0; lo < len(x); lo += reductionChunk {
+		s += dotRange(x, y, lo, minInt(lo+reductionChunk, len(x)))
+	}
+	return s
+}
+
+// MaskedDotChunked is the serial reference for MaskedDot.
+func MaskedDotChunked(mask []bool, x, y []float64) float64 {
+	s := 0.0
+	for lo := 0; lo < len(x); lo += reductionChunk {
+		s += maskedDotRange(mask, x, y, lo, minInt(lo+reductionChunk, len(x)))
+	}
+	return s
+}
+
+func numChunks(n int) int { return (n + reductionChunk - 1) / reductionChunk }
+
+// sumOrdered folds partials in index order — the serial combination
+// step that makes the parallel reductions deterministic.
+func sumOrdered(parts []float64) float64 {
+	s := 0.0
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}
+
+func dotRange(x, y []float64, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func maskedDotRange(mask []bool, x, y []float64, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		if mask[i] {
+			s += x[i] * y[i]
+		}
+	}
+	return s
+}
+
+func axpyRange(alpha float64, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

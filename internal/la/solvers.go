@@ -13,11 +13,31 @@ type Ops struct {
 	N      int
 	MatVec func(x, y []float64)         // y = A x
 	Dot    func(x, y []float64) float64 // global inner product
+
+	// Vec optionally parallelizes the solver-internal vector updates
+	// (axpys and fused recurrences) over a worker pool. nil runs them
+	// serially; either way the updates are element-wise with disjoint
+	// writes, so the iterates are bit-identical.
+	Vec *ParOps
 }
 
 // OpsFromMatrix returns serial Ops for an assembled matrix.
 func OpsFromMatrix(a *CSRMatrix) Ops {
 	return Ops{N: a.N, MatVec: a.MulVec, Dot: Dot}
+}
+
+// ParOpsFromMatrix returns Ops whose MatVec is row-blocked and whose
+// inner product uses the fixed-chunk deterministic reduction, both
+// executed on par's pool. Results are bit-identical at any worker
+// count (see the ParOps contract); the inner product differs from the
+// serial OpsFromMatrix fold only when N exceeds the reduction chunk.
+func ParOpsFromMatrix(a *CSRMatrix, par *ParOps) Ops {
+	return Ops{
+		N:      a.N,
+		MatVec: func(x, y []float64) { par.MulVec(a, x, y) },
+		Dot:    par.Dot,
+		Vec:    par,
+	}
 }
 
 // SolveStats reports the outcome of an iterative solve.
@@ -62,9 +82,11 @@ func PCG(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, max
 	ap := make([]float64, n)
 
 	ops.MatVec(x, r)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
+	ops.Vec.Range(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = b[i] - r[i]
+		}
+	})
 	bnorm := math.Sqrt(ops.Dot(b, b))
 	if bnorm == 0 {
 		bnorm = 1
@@ -86,15 +108,17 @@ func PCG(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, max
 			return stats, ErrBreakdown
 		}
 		alpha := rz / pap
-		Axpy(alpha, p, x)
-		Axpy(-alpha, ap, r)
+		ops.Vec.Axpy(alpha, p, x)
+		ops.Vec.Axpy(-alpha, ap, r)
 		precond(r, z)
 		rzNew := ops.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		ops.Vec.Range(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p[i] = z[i] + beta*p[i]
+			}
+		})
 		stats.Iterations = k + 1
 	}
 	rnorm := math.Sqrt(ops.Dot(r, r))
@@ -117,9 +141,11 @@ func BiCGSTAB(ops Ops, precond func(r, z []float64), b, x []float64, tol float64
 	shat := make([]float64, n)
 
 	ops.MatVec(x, r)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
+	ops.Vec.Range(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = b[i] - r[i]
+		}
+	})
 	copy(rhat, r)
 	bnorm := math.Sqrt(ops.Dot(b, b))
 	if bnorm == 0 {
@@ -142,9 +168,11 @@ func BiCGSTAB(ops Ops, precond func(r, z []float64), b, x []float64, tol float64
 			copy(p, r)
 		} else {
 			beta := (rhoNew / rho) * (alpha / omega)
-			for i := range p {
-				p[i] = r[i] + beta*(p[i]-omega*v[i])
-			}
+			ops.Vec.Range(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					p[i] = r[i] + beta*(p[i]-omega*v[i])
+				}
+			})
 		}
 		rho = rhoNew
 		precond(p, phat)
@@ -154,12 +182,15 @@ func BiCGSTAB(ops Ops, precond func(r, z []float64), b, x []float64, tol float64
 			return stats, ErrBreakdown
 		}
 		alpha = rho / den
-		for i := range s {
-			s[i] = r[i] - alpha*v[i]
-		}
+		aStep := alpha
+		ops.Vec.Range(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s[i] = r[i] - aStep*v[i]
+			}
+		})
 		snorm := math.Sqrt(ops.Dot(s, s))
 		if snorm/bnorm <= tol {
-			Axpy(alpha, phat, x)
+			ops.Vec.Axpy(alpha, phat, x)
 			stats.Iterations = k + 1
 			stats.Residual = snorm / bnorm
 			stats.Converged = true
@@ -175,12 +206,17 @@ func BiCGSTAB(ops Ops, precond func(r, z []float64), b, x []float64, tol float64
 		if omega == 0 {
 			return stats, ErrBreakdown
 		}
-		for i := range x {
-			x[i] += alpha*phat[i] + omega*shat[i]
-		}
-		for i := range r {
-			r[i] = s[i] - omega*t[i]
-		}
+		oStep := omega
+		ops.Vec.Range(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] += aStep*phat[i] + oStep*shat[i]
+			}
+		})
+		ops.Vec.Range(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r[i] = s[i] - oStep*t[i]
+			}
+		})
 		stats.Iterations = k + 1
 	}
 	rnorm := math.Sqrt(ops.Dot(r, r))

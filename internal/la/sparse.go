@@ -10,6 +10,7 @@ package la
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -27,8 +28,21 @@ type CSRMatrix struct {
 // NewCSRFromGraph builds a matrix whose sparsity pattern is the node
 // adjacency graph plus the diagonal — the standard FEM stencil. Column
 // indices within a row are ascending.
+//
+// The diagonal-insertion walk assumes each adjacency list is strictly
+// ascending with no self loops (true for graphs built by the graph
+// package, whose constructors sort and dedupe). Hand-built CSR inputs
+// may violate that, and the walk would then silently emit an unsorted,
+// duplicated column pattern that breaks Find's binary search — so
+// inputs are validated first and rebuilt through a sanitizing slow path
+// when anything is out of order.
 func NewCSRFromGraph(g *graph.CSR) *CSRMatrix {
 	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if !adjacencyClean(g.Neighbors(v), int32(v)) {
+			return newCSRFromUnsortedGraph(g)
+		}
+	}
 	ptr := make([]int32, n+1)
 	for v := 0; v < n; v++ {
 		ptr[v+1] = ptr[v] + int32(g.Degree(v)) + 1 // +1 diagonal
@@ -49,6 +63,46 @@ func NewCSRFromGraph(g *graph.CSR) *CSRMatrix {
 		if !placedDiag {
 			col[w] = int32(v)
 		}
+	}
+	return &CSRMatrix{N: n, Ptr: ptr, Col: col, Val: make([]float64, ptr[n])}
+}
+
+// adjacencyClean reports whether list is strictly ascending and free of
+// the self loop v.
+func adjacencyClean(list []int32, v int32) bool {
+	for i, u := range list {
+		if u == v || (i > 0 && u <= list[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// newCSRFromUnsortedGraph builds the same pattern as NewCSRFromGraph
+// from adjacency lists in arbitrary order, possibly with duplicates and
+// self loops: each row becomes the sorted unique neighbor set plus the
+// diagonal.
+func newCSRFromUnsortedGraph(g *graph.CSR) *CSRMatrix {
+	n := g.NumVertices()
+	rows := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		row := append([]int32{int32(v)}, g.Neighbors(v)...)
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		dst := row[:1]
+		for _, u := range row[1:] {
+			if u != dst[len(dst)-1] {
+				dst = append(dst, u)
+			}
+		}
+		rows[v] = dst
+	}
+	ptr := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		ptr[v+1] = ptr[v] + int32(len(rows[v]))
+	}
+	col := make([]int32, 0, ptr[n])
+	for v := 0; v < n; v++ {
+		col = append(col, rows[v]...)
 	}
 	return &CSRMatrix{N: n, Ptr: ptr, Col: col, Val: make([]float64, ptr[n])}
 }
@@ -90,7 +144,14 @@ func (a *CSRMatrix) Add(i, j int32, v float64) {
 
 // MulVec computes y = A x.
 func (a *CSRMatrix) MulVec(x, y []float64) {
-	for i := 0; i < a.N; i++ {
+	a.mulVecRows(x, y, 0, a.N)
+}
+
+// mulVecRows computes y[lo:hi] = (A x)[lo:hi]. Each row is reduced
+// serially left to right, so row-blocked parallel execution (ParOps)
+// produces exactly the serial MulVec bits.
+func (a *CSRMatrix) mulVecRows(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		sum := 0.0
 		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
 			sum += a.Val[k] * x[a.Col[k]]

@@ -118,12 +118,16 @@ type Solver struct {
 	P    []float64
 	SGS  []mesh.Vec3 // per local element subgrid velocity
 
-	mult      []float64 // 1 / (number of ranks sharing each local node)
-	inletLoc  []int32   // local nodes with inlet Dirichlet velocity
-	wallLoc   []int32   // local nodes with no-slip Dirichlet
-	outletLoc []int32   // local nodes with p = 0 Dirichlet
-	dirichlet []bool    // union mask for velocity BCs
-	isDirP    []bool    // pressure BC mask
+	// invMult[i] is this rank's share of local node i: 1/m where m is
+	// the number of ranks holding the node. A Dirichlet diagonal is set
+	// to invMult so that the halo sum over all sharing ranks restores a
+	// unit diagonal.
+	invMult   []float64
+	inletLoc  []int32 // local nodes with inlet Dirichlet velocity
+	wallLoc   []int32 // local nodes with no-slip Dirichlet
+	outletLoc []int32 // local nodes with p = 0 Dirichlet
+	dirichlet []bool  // union mask for velocity BCs
+	isDirP    []bool  // pressure BC mask
 	tagSeq    int
 	numWeight float64 // sum of element cost weights (assembly work)
 	ownedNNZ  float64 // matrix nonzeros in owned rows (solver work)
@@ -136,6 +140,18 @@ type Solver struct {
 	prhs      []float64
 	gradScr   [3][]float64
 	lumped    []float64
+
+	// par runs the per-rank la kernels (SpMV, reductions, vector
+	// updates) on this rank's pool with the deterministic fixed-chunk
+	// contract — the Solver1/Solver2 threading the paper's Table 1
+	// motivates.
+	par *la.ParOps
+	// Per-element staging for the compute-parallel/scatter-serial
+	// loops: elemFe holds assemblePressureRHS's per-element RHS rows,
+	// elemCorr holds correctVelocity's per-(element,node) lumped weight
+	// and gradient contributions (4 floats per slot).
+	elemFe   []float64
+	elemCorr []float64
 }
 
 // NewSolver builds the per-rank solver. All ranks of comm must call it
@@ -156,6 +172,13 @@ func NewSolver(m *mesh.Mesh, rm *partition.RankMesh, comm *simmpi.Comm, pool *ta
 	}
 	s.lumped = make([]float64, n)
 	s.scratch.New = func() any { return new(fem.Scratch) }
+	if pool != nil {
+		s.par = la.NewParOps(pool)
+	} else {
+		s.par = la.NewParOps(nil)
+	}
+	s.elemFe = make([]float64, rm.NumElems()*fem.MaxElemNodes)
+	s.elemCorr = make([]float64, rm.NumElems()*fem.MaxElemNodes*4)
 
 	// Local node graph -> matrix patterns.
 	lists := make([][]int32, n)
@@ -176,21 +199,23 @@ func NewSolver(m *mesh.Mesh, rm *partition.RankMesh, comm *simmpi.Comm, pool *ta
 	s.atomicMat = tasking.NewAtomicFloat64Slice(s.A.NNZ())
 	s.atomicVec = tasking.NewAtomicFloat64Slice(3 * n)
 
-	// Node multiplicity (for Dirichlet rows under halo summation).
+	// Per-node rank share 1/m, m = number of ranks holding the node
+	// (used for Dirichlet diagonals under halo summation).
 	shared := make([]int, n)
 	for _, h := range rm.Halos {
 		for _, ln := range h.Nodes {
 			shared[ln]++
 		}
 	}
-	s.mult = make([]float64, n)
-	for i := range s.mult {
-		s.mult[i] = 1 / float64(1+shared[i])
+	s.invMult = make([]float64, n)
+	for i := range s.invMult {
+		s.invMult[i] = 1 / float64(1+shared[i])
 	}
-	// Solver work accounting: each row's nonzeros, with shared rows split
-	// among the ranks computing them (multiplicity weighting).
+	// Solver work accounting: each row's nonzeros, with shared rows
+	// split among the ranks computing them (each rank counts its 1/m
+	// share).
 	for i := 0; i < n; i++ {
-		s.ownedNNZ += float64(s.A.Ptr[i+1]-s.A.Ptr[i]) * s.mult[i]
+		s.ownedNNZ += float64(s.A.Ptr[i+1]-s.A.Ptr[i]) * s.invMult[i]
 	}
 
 	// Boundary node sets, localized.
@@ -282,26 +307,27 @@ func (s *Solver) haloSum(x []float64) {
 	}
 }
 
-// dotOwned computes the global inner product over owned nodes.
+// dotOwned computes the global inner product over owned nodes. The
+// local reduction runs on the rank's pool with the fixed-chunk
+// deterministic order, so the value — and therefore every Krylov
+// iterate — is bit-identical at any worker count.
 func (s *Solver) dotOwned(x, y []float64) float64 {
-	local := 0.0
-	for i, owned := range s.RM.Owned {
-		if owned {
-			local += x[i] * y[i]
-		}
-	}
+	local := s.par.MaskedDot(s.RM.Owned, x, y)
 	return s.Comm.AllreduceFloat64(local, simmpi.OpSum)
 }
 
-// ops builds the distributed Krylov operations for matrix a.
+// ops builds the distributed Krylov operations for matrix a: row-blocked
+// pool-parallel SpMV plus halo exchange, the deterministic owned-node
+// inner product, and pool-parallel vector updates inside the solvers.
 func (s *Solver) ops(a *la.CSRMatrix) la.Ops {
 	return la.Ops{
 		N: a.N,
 		MatVec: func(x, y []float64) {
-			a.MulVec(x, y)
+			s.par.MulVec(a, x, y)
 			s.haloSum(y)
 		},
 		Dot: s.dotOwned,
+		Vec: s.par,
 	}
 }
 

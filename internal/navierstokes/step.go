@@ -32,7 +32,8 @@ func (s *Solver) assembleLaplacian() {
 		}
 	}
 	// Symmetric zero-Dirichlet: zero rows and columns of outlet nodes,
-	// then set their diagonals to 1/multiplicity (halo-sum -> identity).
+	// then set each diagonal to this rank's share invMult = 1/m, so the
+	// halo sum over the m sharing ranks restores a unit diagonal.
 	for _, ln := range s.outletLoc {
 		s.L.SetDirichletRow(ln)
 	}
@@ -46,7 +47,7 @@ func (s *Solver) assembleLaplacian() {
 	}
 	for _, ln := range s.outletLoc {
 		if k := s.L.Find(ln, ln); k >= 0 {
-			s.L.Val[k] = s.mult[ln]
+			s.L.Val[k] = s.invMult[ln]
 		}
 	}
 }
@@ -124,8 +125,10 @@ func (s *Solver) assembleMomentum() error {
 	inlet := [3]float64{s.Cfg.InletVelocity.X, s.Cfg.InletVelocity.Y, s.Cfg.InletVelocity.Z}
 	applyRow := func(ln int32, val [3]float64) {
 		s.A.SetDirichletRow(ln)
+		// Diagonal gets the rank share invMult = 1/m: the halo sum adds
+		// the m sharing ranks' shares back to exactly 1.
 		if k := s.A.Find(ln, ln); k >= 0 {
-			s.A.Val[k] = s.mult[ln]
+			s.A.Val[k] = s.invMult[ln]
 		}
 		for c := 0; c < 3; c++ {
 			s.rhs[c][ln] = val[c]
@@ -205,23 +208,33 @@ func (s *Solver) AssembleMomentumForBenchmark() error {
 	return s.assembleMomentum()
 }
 
-// assemblePressureRHS computes -(rho/dt) * div(u*) weakly (serial loop;
-// its cost is accounted inside Solver2 as in the paper's phase split).
+// assemblePressureRHS computes -(rho/dt) * div(u*) weakly. Its cost is
+// accounted inside Solver2 as in the paper's phase split. The expensive
+// per-element quadrature fans out over the rank's pool into disjoint
+// per-element slots; the cheap scatter then walks elements serially in
+// index order, so the result is bit-identical to the original serial
+// loop at any worker count.
 func (s *Solver) assemblePressureRHS() {
 	la.Fill(s.prhs, 0)
-	scr := s.scratch.Get().(*fem.Scratch)
-	defer s.scratch.Put(scr)
-	for e := 0; e < s.RM.NumElems(); e++ {
-		kind := s.RM.Kinds[e]
-		nen := kind.NodesPerElem()
-		nodes := s.RM.ElemNodesLocal(e)
-		for i, ln := range nodes {
-			scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
-			scr.UConv[i] = mesh.Vec3{X: s.U[0][ln], Y: s.U[1][ln], Z: s.U[2][ln]}
+	s.par.Range(s.RM.NumElems(), func(lo, hi int) {
+		scr := s.scratch.Get().(*fem.Scratch)
+		for e := lo; e < hi; e++ {
+			kind := s.RM.Kinds[e]
+			nen := kind.NodesPerElem()
+			nodes := s.RM.ElemNodesLocal(e)
+			for i, ln := range nodes {
+				scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+				scr.UConv[i] = mesh.Vec3{X: s.U[0][ln], Y: s.U[1][ln], Z: s.U[2][ln]}
+			}
+			fem.DivergenceRHS(kind, nen, s.Cfg.Props, scr)
+			copy(s.elemFe[e*fem.MaxElemNodes:(e+1)*fem.MaxElemNodes], scr.Fe[:])
 		}
-		fem.DivergenceRHS(kind, nen, s.Cfg.Props, scr)
-		for a, ln := range nodes {
-			s.prhs[ln] += scr.Fe[a]
+		s.scratch.Put(scr)
+	})
+	for e := 0; e < s.RM.NumElems(); e++ {
+		fe := s.elemFe[e*fem.MaxElemNodes:]
+		for a, ln := range s.RM.ElemNodesLocal(e) {
+			s.prhs[ln] += fe[a]
 		}
 	}
 	s.haloSum(s.prhs)
@@ -231,56 +244,77 @@ func (s *Solver) assemblePressureRHS() {
 }
 
 // correctVelocity projects the velocity with the nodal pressure gradient:
-// u <- u - (dt/rho) grad p, using a lumped-volume nodal gradient.
+// u <- u - (dt/rho) grad p, using a lumped-volume nodal gradient. Like
+// assemblePressureRHS it is compute-parallel/scatter-serial: quadrature
+// accumulates into disjoint per-(element,node) slots on the pool, the
+// in-order serial scatter reproduces the serial bits, and the final
+// per-node correction is element-wise parallel (disjoint writes).
 func (s *Solver) correctVelocity() {
 	n := s.RM.NumLocalNodes()
 	for c := 0; c < 3; c++ {
 		la.Fill(s.gradScr[c], 0)
 	}
 	la.Fill(s.lumped, 0)
-	scr := s.scratch.Get().(*fem.Scratch)
-	for e := 0; e < s.RM.NumElems(); e++ {
-		kind := s.RM.Kinds[e]
-		nen := kind.NodesPerElem()
-		nodes := s.RM.ElemNodesLocal(e)
-		for i, ln := range nodes {
-			scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
-		}
-		basis := fem.BasisFor(kind)
-		for q := range basis.QP {
-			qp := &basis.QP[q]
-			det := fem.Jacobian(qp, nen, scr.Coords[:], &scr.GradN)
-			w := qp.W * abs(det)
-			var gp [3]float64
-			for a, ln := range nodes {
-				for c := 0; c < 3; c++ {
-					gp[c] += scr.GradN[a][c] * s.P[ln]
+	s.par.Range(s.RM.NumElems(), func(lo, hi int) {
+		scr := s.scratch.Get().(*fem.Scratch)
+		for e := lo; e < hi; e++ {
+			kind := s.RM.Kinds[e]
+			nen := kind.NodesPerElem()
+			nodes := s.RM.ElemNodesLocal(e)
+			for i, ln := range nodes {
+				scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+			}
+			slot := s.elemCorr[e*fem.MaxElemNodes*4 : (e+1)*fem.MaxElemNodes*4]
+			for i := range slot {
+				slot[i] = 0
+			}
+			basis := fem.BasisFor(kind)
+			for q := range basis.QP {
+				qp := &basis.QP[q]
+				det := fem.Jacobian(qp, nen, scr.Coords[:], &scr.GradN)
+				w := qp.W * abs(det)
+				var gp [3]float64
+				for a, ln := range nodes {
+					for c := 0; c < 3; c++ {
+						gp[c] += scr.GradN[a][c] * s.P[ln]
+					}
+				}
+				for a := range nodes {
+					wa := w * qp.N[a]
+					slot[a*4] += wa
+					for c := 0; c < 3; c++ {
+						slot[a*4+1+c] += wa * gp[c]
+					}
 				}
 			}
-			for a, ln := range nodes {
-				wa := w * qp.N[a]
-				s.lumped[ln] += wa
-				for c := 0; c < 3; c++ {
-					s.gradScr[c][ln] += wa * gp[c]
-				}
+		}
+		s.scratch.Put(scr)
+	})
+	for e := 0; e < s.RM.NumElems(); e++ {
+		slot := s.elemCorr[e*fem.MaxElemNodes*4:]
+		for a, ln := range s.RM.ElemNodesLocal(e) {
+			s.lumped[ln] += slot[a*4]
+			for c := 0; c < 3; c++ {
+				s.gradScr[c][ln] += slot[a*4+1+c]
 			}
 		}
 	}
-	s.scratch.Put(scr)
 	for c := 0; c < 3; c++ {
 		s.haloSum(s.gradScr[c])
 	}
 	s.haloSum(s.lumped)
 	dtRho := s.Cfg.Props.Dt / s.Cfg.Props.Rho
-	for i := 0; i < n; i++ {
-		if s.dirichlet[i] || s.lumped[i] == 0 {
-			continue
+	s.par.Range(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if s.dirichlet[i] || s.lumped[i] == 0 {
+				continue
+			}
+			inv := 1 / s.lumped[i]
+			for c := 0; c < 3; c++ {
+				s.U[c][i] -= dtRho * s.gradScr[c][i] * inv
+			}
 		}
-		inv := 1 / s.lumped[i]
-		for c := 0; c < 3; c++ {
-			s.U[c][i] -= dtRho * s.gradScr[c][i] * inv
-		}
-	}
+	})
 }
 
 // updateSGS recomputes the per-element subgrid-scale velocity with the

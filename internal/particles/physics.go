@@ -53,8 +53,25 @@ func ReynoldsP(f FluidProps, p Props, rel mesh.Vec3) float64 {
 //
 // It is defined for Re > 0; callers must special-case Re = 0 (Stokes
 // limit handled in DragForce).
+//
+// The Re^0.65657 term is evaluated as exp(0.65657 * log(Re)): profiling
+// shows math.Pow alone at ~40% of a particle step, and with a fixed
+// positive exponent and a strictly positive base none of Pow's
+// special-case and extra-precision machinery is needed. Across the
+// physical range Re ∈ [1e-6, 1e6] the result stays within a few ULPs of
+// the Pow form — TestGanserCdFastPathULPBound pins the bound against
+// GanserCdPow, which is kept as the bit-reference.
 func GanserCd(re float64) float64 {
-	return 24/re*(1+0.1118*math.Pow(re, 0.65657)) + 0.4305/(1+3305/re)
+	return 24/re*(1+0.1118*math.Exp(ganserExp*math.Log(re))) + 0.4305/(1+3305/re)
+}
+
+// ganserExp is the Reynolds exponent of eq. 8's Stokes-regime correction.
+const ganserExp = 0.65657
+
+// GanserCdPow is the math.Pow reference implementation of eq. 8, the
+// gold standard the fast path is verified against.
+func GanserCdPow(re float64) float64 {
+	return 24/re*(1+0.1118*math.Pow(re, ganserExp)) + 0.4305/(1+3305/re)
 }
 
 // DragForce computes eq. 6: F_D = (pi/8) mu_f dp Cd Re_p (u_f - u_p).

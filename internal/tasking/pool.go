@@ -60,7 +60,18 @@ func (p *Pool) worker(id int) {
 			return
 		}
 		task := p.queue[0]
+		// Nil the popped slot before re-slicing: the backing array keeps
+		// every element up to its capacity reachable, so leaving the
+		// closure in place would pin it (and everything it captures) for
+		// the lifetime of the queue's allocation.
+		p.queue[0] = nil
 		p.queue = p.queue[1:]
+		if len(p.queue) == 0 {
+			// Drained: drop the spent backing array so the next burst of
+			// submissions starts from a fresh allocation instead of
+			// appending into the tail of an ever-growing one.
+			p.queue = nil
+		}
 		p.running++
 		p.mu.Unlock()
 		task()
@@ -145,8 +156,24 @@ func (p *Pool) Close() {
 // ParallelFor executes body(lo,hi) over [0,n) split into dynamically
 // scheduled chunks, blocking until the whole range is processed. The
 // chunk size adapts to the pool's current concurrency; pass grain > 0 to
-// force a chunk size. ParallelFor must not be called from inside a pool
-// task (the pool does not support nested blocking).
+// force a chunk size — chunks are then the fixed ranges
+// [k*grain, (k+1)*grain) regardless of the worker count, the property
+// the deterministic la reductions rely on.
+//
+// The calling goroutine participates as a chunk puller, so ParallelFor
+// is safe to call from inside a pool task: even when every worker is
+// busy (including the degenerate case of a one-worker pool whose only
+// worker is executing the caller), the caller drains the range itself
+// and the loop completes instead of deadlocking on queued helpers that
+// can never run. Helpers still queued when the range is exhausted
+// execute later as no-ops.
+//
+// Concurrency semantics: this is OpenMP's master-participation model —
+// the encountering thread joins the team — so a loop executes on up to
+// SetWorkers(n)+1 goroutines: n pool workers plus the caller. The
+// SetWorkers bound on Submit-ted tasks is unaffected. (The caller
+// cannot be throttled without reintroducing the nested deadlock;
+// TestParallelForConcurrencyBound pins the +1.)
 func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -158,10 +185,9 @@ func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
 			grain = 1
 		}
 	}
-	var next int64
-	var wg sync.WaitGroup
+	var next, done int64
+	doneCh := make(chan struct{})
 	puller := func() {
-		defer wg.Done()
 		for {
 			lo := int(atomic.AddInt64(&next, int64(grain))) - grain
 			if lo >= n {
@@ -172,19 +198,26 @@ func (p *Pool) ParallelFor(n, grain int, body func(lo, hi int)) {
 				hi = n
 			}
 			body(lo, hi)
+			if atomic.AddInt64(&done, int64(hi-lo)) == int64(n) {
+				close(doneCh)
+			}
 		}
 	}
-	// Submit one puller per potential worker so that concurrency raised
-	// mid-loop (DLB lending) is exploited.
-	nPullers := p.max
-	if nPullers > (n+grain-1)/grain {
-		nPullers = (n + grain - 1) / grain
+	// Submit one helper per potential extra worker so that concurrency
+	// raised mid-loop (DLB lending) is exploited; the caller is itself a
+	// puller, so max-1 helpers saturate the pool.
+	nHelpers := p.max - 1
+	if maxUseful := (n+grain-1)/grain - 1; nHelpers > maxUseful {
+		nHelpers = maxUseful
 	}
-	wg.Add(nPullers)
-	for i := 0; i < nPullers; i++ {
+	for i := 0; i < nHelpers; i++ {
 		p.Submit(puller)
 	}
-	wg.Wait()
+	puller()
+	// The caller ran out of chunks, but helpers may still be executing
+	// theirs; completion is signalled by whichever puller finishes the
+	// last chunk (possibly the caller itself, above).
+	<-doneCh
 }
 
 // String describes the pool state for diagnostics.

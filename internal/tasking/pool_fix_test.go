@@ -1,0 +1,178 @@
+package tasking
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolQueueSlotsReleased guards the queue memory-retention fix: a
+// popped task closure must not stay reachable through the queue's
+// backing array, or everything the closure captures (particle buffers,
+// matrices) is pinned until the array is reallocated.
+func TestPoolQueueSlotsReleased(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	pool.Submit(func() {
+		close(started)
+		<-release
+	})
+	<-started // the single worker is now parked inside the blocker
+
+	var ran int32
+	for i := 0; i < 8; i++ {
+		pool.Submit(func() { atomic.AddInt32(&ran, 1) })
+	}
+	pool.mu.Lock()
+	backing := pool.queue // snapshot of the 8 queued closures
+	pool.mu.Unlock()
+	if len(backing) != 8 {
+		t.Fatalf("queued %d tasks, want 8", len(backing))
+	}
+
+	close(release)
+	pool.Wait()
+	if atomic.LoadInt32(&ran) != 8 {
+		t.Fatalf("ran %d/8 tasks", ran)
+	}
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	for i, slot := range backing {
+		if slot != nil {
+			t.Fatalf("backing slot %d still holds its task closure after pop", i)
+		}
+	}
+}
+
+// TestPoolQueueDropsBackingOnDrain checks that a drained queue does not
+// keep appending into the tail of an ever-growing backing array.
+func TestPoolQueueDropsBackingOnDrain(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 32; i++ {
+			pool.Submit(func() {})
+		}
+		pool.Wait()
+	}
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if c := cap(pool.queue); c != 0 {
+		t.Fatalf("drained queue retains backing array of cap %d", c)
+	}
+}
+
+// TestParallelForInsidePoolTask is the nested-deadlock regression: a
+// ParallelFor issued from inside a pool task used to hang forever on a
+// saturated pool, because its helper pullers could never be scheduled.
+// The calling goroutine now participates as a puller, so the loop must
+// complete even on a one-worker pool whose only worker is the caller.
+func TestParallelForInsidePoolTask(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+
+	var sum int64
+	done := make(chan struct{})
+	pool.Submit(func() {
+		defer close(done)
+		pool.ParallelFor(1000, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&sum, int64(i))
+			}
+		})
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ParallelFor inside a pool task deadlocked")
+	}
+	if want := int64(1000 * 999 / 2); atomic.LoadInt64(&sum) != want {
+		t.Fatalf("nested loop covered sum %d, want %d", sum, want)
+	}
+	pool.Wait() // stale helper no-ops must drain cleanly
+}
+
+// TestParallelForDoublyNested exercises ParallelFor inside a ParallelFor
+// body — the shape the threaded solver kernels can hit when a pool task
+// reaches a vector kernel.
+func TestParallelForDoublyNested(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+
+	var count int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pool.ParallelFor(8, 1, func(lo, hi int) {
+			pool.ParallelFor(100, 0, func(ilo, ihi int) {
+				atomic.AddInt64(&count, int64(ihi-ilo))
+			})
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("doubly nested ParallelFor deadlocked")
+	}
+	if atomic.LoadInt64(&count) != 800 {
+		t.Fatalf("covered %d iterations, want 800", count)
+	}
+}
+
+// TestParallelForConcurrencyBound pins the loop's team size: at most
+// SetWorkers(n) pool workers plus the participating caller run bodies
+// concurrently (OpenMP master-participation semantics). A throttled
+// pool must not see the whole worker complement join the loop.
+func TestParallelForConcurrencyBound(t *testing.T) {
+	pool := NewPool(8)
+	defer pool.Close()
+	pool.SetWorkers(2)
+	var cur, max int32
+	pool.ParallelFor(256, 1, func(lo, hi int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			m := atomic.LoadInt32(&max)
+			if c <= m || atomic.CompareAndSwapInt32(&max, m, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		atomic.AddInt32(&cur, -1)
+	})
+	if got := atomic.LoadInt32(&max); got > 3 {
+		t.Fatalf("observed %d concurrent loop bodies with SetWorkers(2)+caller, want <= 3", got)
+	}
+}
+
+// TestParallelForFixedGrainChunks pins the fixed-chunk contract the
+// deterministic reductions rely on: with grain > 0 the chunks are
+// exactly [k*grain, min((k+1)*grain, n)) whatever the worker count.
+func TestParallelForFixedGrainChunks(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		pool := NewPool(workers)
+		const n, grain = 1037, 64
+		seen := make([]int32, (n+grain-1)/grain)
+		pool.ParallelFor(n, grain, func(lo, hi int) {
+			if lo%grain != 0 {
+				t.Errorf("chunk start %d not a multiple of grain %d", lo, grain)
+			}
+			want := lo + grain
+			if want > n {
+				want = n
+			}
+			if hi != want {
+				t.Errorf("chunk [%d,%d), want [%d,%d)", lo, hi, lo, want)
+			}
+			atomic.AddInt32(&seen[lo/grain], 1)
+		})
+		for k, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: chunk %d executed %d times", workers, k, c)
+			}
+		}
+		pool.Close()
+	}
+}
