@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,8 +25,11 @@ import (
 // --- Table 1 / Figure 2: the real scaled-down respiratory run ---
 
 func BenchmarkTable1(b *testing.B) {
+	// table1Run, not Table1: the public entry memoizes per option set
+	// (shared with Figure2), which would turn iterations 2..N into cache
+	// hits and make the numbers meaningless.
 	for i := 0; i < b.N; i++ {
-		res, err := Table1(DefaultTable1Options())
+		res, err := table1Run(context.Background(), DefaultTable1Options())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,12 +44,12 @@ func BenchmarkFigure2(b *testing.B) {
 	opts.Ranks = 48
 	opts.MeshGen = 3
 	for i := 0; i < b.N; i++ {
-		out, err := Figure2(opts, 100, 16)
+		res, err := table1Run(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.Log("\n" + out)
+			b.Log("\n" + res.Trace.Render(100, 16))
 		}
 	}
 }

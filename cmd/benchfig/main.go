@@ -1,129 +1,189 @@
-// Command benchfig regenerates every table and figure of the paper's
-// evaluation section and prints measured-vs-paper comparisons.
+// Command benchfig serves the scenario registry: every table and figure
+// of the paper's evaluation plus the example workloads, selected by
+// name or tag, rendered as text, JSON, or CSV, optionally in parallel.
 //
 // Usage:
 //
-//	benchfig                  # everything
-//	benchfig -exp table1      # one experiment
-//	benchfig -exp fig6 -platform Thunder
-//	benchfig -exp particles   # particle engine A/B (locator, tracker)
-//	benchfig -exp solver      # threaded la kernel A/B (SpMV, PCG, drag)
+//	benchfig -list                     # enumerate registered scenarios
+//	benchfig                           # the paper evaluation suite (-exp all)
+//	benchfig -exp table1               # one scenario
+//	benchfig -exp fig6,fig7 -platform Thunder
+//	benchfig -tags example             # the example workloads
+//	benchfig -exp fig8 -format json    # typed artifact as JSON
+//	benchfig -exp all -format csv      # flat CSV over every artifact
+//	benchfig -exp fig6,fig8 -parallel 2 -progress
 //
-// Experiments: table1, fig2, fig6, fig7, fig8, fig9, fig10, fig11, ipc,
-// ablation, particles, solver, all.
+// Unknown -exp names fail with the list of registered scenarios. `-exp
+// all` expands to the scenarios tagged "paper" (the pre-registry
+// benchfig suite, in registration order); a Ctrl-C cancels in-flight
+// simulations at their next step boundary.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"strings"
 
-	"repro"
+	_ "repro" // populate the default scenario registry
+	"repro/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 ipc ablation particles solver all)")
-	platform := flag.String("platform", "", "restrict fig6/fig7/ablation to one platform (MareNostrum4 or Thunder)")
-	width := flag.Int("width", 100, "figure-2 timeline width")
-	rows := flag.Int("rows", 24, "figure-2 timeline max rows")
-	flag.Parse()
-
-	if err := run(*exp, *platform, *width, *rows); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, platform string, width, rows int) error {
-	platforms := []string{"MareNostrum4", "Thunder"}
-	if platform != "" {
-		platforms = []string{platform}
+// run is the whole CLI, separated from main for testing.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchfig", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list registered scenarios and exit")
+		exp      = fs.String("exp", "all", "comma-separated scenario names, or 'all' for the paper suite")
+		tags     = fs.String("tags", "", "select scenarios by comma-separated tags instead of -exp")
+		format   = fs.String("format", "text", "output format: text, json, or csv")
+		parallel = fs.Int("parallel", 1, "number of scenarios to run concurrently")
+		progress = fs.Bool("progress", false, "report per-scenario progress on stderr")
+		platform = fs.String("platform", "", "restrict per-platform figures to one platform (MareNostrum4 or Thunder)")
+		width    = fs.Int("width", 100, "timeline width (trace scenarios)")
+		rows     = fs.Int("rows", 24, "timeline max rows (trace scenarios)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	all := exp == "all"
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (scenarios are selected with -exp)", fs.Args())
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		// Validated before any scenario runs: a typo must not discard a
+		// minutes-long suite.
+		return fmt.Errorf("unknown format %q (want text, json, or csv)", *format)
+	}
+	reg := scenario.Default
 
-	if all || exp == "table1" {
-		res, err := repro.Table1(repro.DefaultTable1Options())
+	if *list {
+		fmt.Fprintf(stdout, "%-12s %-28s %s\n", "NAME", "TAGS", "DESCRIPTION")
+		for _, s := range reg.Scenarios() {
+			fmt.Fprintf(stdout, "%-12s %-28s %s\n", s.Name(), strings.Join(s.Tags(), ","), s.Describe())
+		}
+		return nil
+	}
+
+	scs, err := selectScenarios(reg, *exp, *tags)
+	if err != nil {
+		return err
+	}
+
+	// Flag defaults must not override a scenario's own timeline defaults
+	// (quickstart renders 90x8; fig2 100x24): only pass explicitly set
+	// flags through.
+	var params scenario.Params
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "width":
+			params.Width = *width
+		case "rows":
+			params.Rows = *rows
+		}
+	})
+	if *platform != "" {
+		params.Platforms = []string{*platform}
+	}
+
+	runner := scenario.Runner{Parallel: *parallel}
+	if *progress {
+		runner.Progress = func(ev scenario.Event) {
+			if !ev.Done {
+				fmt.Fprintf(stderr, "[%d/%d] %s ...\n", ev.Index+1, ev.Total, ev.Scenario)
+			} else if ev.Err != nil {
+				fmt.Fprintf(stderr, "[%d/%d] %s FAILED after %v: %v\n", ev.Index+1, ev.Total, ev.Scenario, ev.Elapsed.Round(1e6), ev.Err)
+			} else {
+				fmt.Fprintf(stderr, "[%d/%d] %s done in %v\n", ev.Index+1, ev.Total, ev.Scenario, ev.Elapsed.Round(1e6))
+			}
+		}
+	}
+
+	results, ctxErr := runner.Run(ctx, scs, params)
+	var arts []*scenario.Artifact
+	var firstErr error
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintln(stderr, "benchfig:", res.Err)
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			continue
+		}
+		arts = append(arts, res.Artifact)
+	}
+
+	switch *format {
+	case "text":
+		for _, a := range arts {
+			fmt.Fprintln(stdout, a.Text())
+		}
+	case "json":
+		out, err := json.MarshalIndent(arts, "", "  ")
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Format())
-	}
-	if all || exp == "fig2" {
-		out, err := repro.Figure2(repro.DefaultTable1Options(), width, rows)
+		fmt.Fprintln(stdout, string(out))
+	case "csv":
+		out, err := scenario.WriteCSV(arts)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Figure 2 — trace of the respiratory simulation (one node, 96 ranks)")
-		fmt.Println(out)
+		fmt.Fprint(stdout, out)
 	}
-	if all || exp == "fig6" {
-		for _, p := range platforms {
-			f, err := repro.Figure6(p)
-			if err != nil {
-				return err
+	if firstErr != nil {
+		return fmt.Errorf("%d of %d scenarios failed (first: %w)", len(results)-len(arts), len(results), firstErr)
+	}
+	return ctxErr
+}
+
+// selectScenarios resolves the -exp / -tags selection against the
+// registry. Tag selection wins when given; "all" is the paper suite.
+func selectScenarios(reg *scenario.Registry, exp, tags string) ([]scenario.Scenario, error) {
+	if tags != "" {
+		seen := map[string]bool{}
+		var out []scenario.Scenario
+		for _, tag := range strings.Split(tags, ",") {
+			tag = strings.TrimSpace(tag)
+			for _, s := range reg.WithTag(tag) {
+				if !seen[s.Name()] {
+					seen[s.Name()] = true
+					out = append(out, s)
+				}
 			}
-			fmt.Println(f.Format())
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no scenario carries tags %q; known tags: %s",
+				tags, strings.Join(reg.Tags(), ", "))
+		}
+		return out, nil
+	}
+	if exp == "all" {
+		return reg.WithTag("paper"), nil
+	}
+	var names []string
+	for _, n := range strings.Split(exp, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
 		}
 	}
-	if all || exp == "fig7" {
-		for _, p := range platforms {
-			f, err := repro.Figure7(p)
-			if err != nil {
-				return err
-			}
-			fmt.Println(f.Format())
-		}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty -exp selection")
 	}
-	figs := []struct {
-		name string
-		fn   func() (*repro.FigureResult, error)
-	}{
-		{"fig8", repro.Figure8},
-		{"fig9", repro.Figure9},
-		{"fig10", repro.Figure10},
-		{"fig11", repro.Figure11},
-	}
-	for _, fg := range figs {
-		if all || exp == fg.name {
-			f, err := fg.fn()
-			if err != nil {
-				return err
-			}
-			fmt.Println(f.Format())
-		}
-	}
-	if all || exp == "ipc" {
-		fmt.Println(repro.IPCReport())
-	}
-	if all || exp == "ablation" {
-		for _, p := range platforms {
-			f, err := repro.MultidepKeyingAblation(p)
-			if err != nil {
-				return err
-			}
-			fmt.Println(f.Format())
-		}
-	}
-	if all || exp == "particles" {
-		out, err := repro.ParticleEngineReport()
-		if err != nil {
-			return err
-		}
-		fmt.Println(out)
-	}
-	if all || exp == "solver" {
-		out, err := repro.SolverKernelReport()
-		if err != nil {
-			return err
-		}
-		fmt.Println(out)
-	}
-	if !all {
-		switch exp {
-		case "table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ipc", "ablation", "particles", "solver":
-		default:
-			return fmt.Errorf("unknown experiment %q", exp)
-		}
-	}
-	return nil
+	return reg.Select(names)
 }

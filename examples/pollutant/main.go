@@ -1,101 +1,28 @@
 // Pollutant-inhalation scenario: unlike a single drug bolus, breathing
 // polluted air injects particles continuously ("inject particles several
 // times during the simulation", as the paper's Section 2.2 motivates for
-// production runs). This example drives the lower-level packages directly
-// — distributed solver, tracker, migration — to inject every step and
-// shows how the particle load and its imbalance build up over time.
+// production runs). The workload — which drives the lower-level packages
+// directly to inject every step — is the registered "pollutant"
+// scenario (`benchfig -exp pollutant` runs the same code).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/mesh"
-	"repro/internal/metrics"
-	"repro/internal/navierstokes"
-	"repro/internal/particles"
-	"repro/internal/partition"
-	"repro/internal/simmpi"
-	"repro/internal/tasking"
-	"repro/internal/trace"
+	"repro"
+	"repro/scenario"
 )
 
 func main() {
-	const (
-		ranks        = 8
-		steps        = 6
-		perStepShots = 400 // particles inhaled every step
-	)
-	mc := mesh.DefaultAirwayConfig()
-	mc.Generations = 2
-	m, err := mesh.GenerateAirway(mc)
+	s, err := scenario.Default.Get(repro.ScenarioPollutant)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dual := m.DualByNode()
-	part, err := partition.KWay(dual, nil, ranks)
+	a, err := s.Run(context.Background(), scenario.Params{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rms, err := partition.BuildRankMeshes(m, part.Parts, ranks)
-	if err != nil {
-		log.Fatal(err)
-	}
-	world, err := simmpi.NewWorld(ranks, simmpi.WithRanksPerNode(ranks))
-	if err != nil {
-		log.Fatal(err)
-	}
-	tr := trace.NewTrace(ranks)
-	perStepLn := make([]float64, steps)
-	perStepCount := make([]int, steps)
-
-	soot := particles.Props{Diameter: 2.5e-6, Density: 1800} // PM2.5-like
-	err = world.Run(func(r *simmpi.Rank) {
-		pool := tasking.NewPool(2)
-		defer pool.Close()
-		cfg := navierstokes.DefaultConfig()
-		cfg.Strategy = tasking.StrategyMultidep
-		ns, err := navierstokes.NewSolver(m, rms[r.ID()], r.Comm, pool, cfg,
-			navierstokes.DefaultCostModel(), tr.Ranks[r.ID()])
-		if err != nil {
-			panic(err)
-		}
-		tk := particles.NewTracker(m, rms[r.ID()].Elems, soot, particles.AirAt20C())
-		var peers []int
-		for _, h := range rms[r.ID()].Halos {
-			peers = append(peers, h.Peer)
-		}
-		for step := 0; step < steps; step++ {
-			if _, err := ns.Step(); err != nil {
-				panic(err)
-			}
-			// Continuous pollutant exposure: inject EVERY step.
-			tk.InjectAtInlet(perStepShots, int64(step+1), cfg.InletVelocity)
-			w0 := tk.WorkUnits
-			tk.Step(cfg.Props.Dt, ns.VelocityAt)
-			particles.Migrate(r.Comm, tk, peers, 1<<30)
-			stepWork := float64(tk.WorkUnits - w0)
-			// Gather per-rank particle work to measure imbalance.
-			works := r.Comm.AllgatherFloat64(stepWork)
-			if r.ID() == 0 {
-				perStepLn[step] = metrics.LoadBalance(works)
-				total := 0
-				for _, w := range works {
-					total += int(w)
-				}
-				perStepCount[step] = total
-			}
-		}
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Println("pollutant inhalation — continuous PM2.5 injection")
-	fmt.Printf("%6s %16s %22s\n", "step", "tracked/step", "particle-phase Ln")
-	for s := 0; s < steps; s++ {
-		fmt.Printf("%6d %16d %22.3f\n", s, perStepCount[s], perStepLn[s])
-	}
-	fmt.Println("\nthe tracked population grows every step while the work stays near the")
-	fmt.Println("injection subdomains — exactly the growing imbalance the paper's DLB absorbs.")
+	fmt.Print(a.Text())
 }

@@ -1,27 +1,28 @@
 // Quickstart: generate a human-airway mesh, run a small distributed CFPD
 // simulation (fluid + particles) on simulated MPI ranks, and print the
-// outcome. This is the minimal end-to-end use of the public API.
+// outcome. This is the minimal end-to-end use of the public API: the
+// workload itself is the registered "quickstart" scenario, so this main
+// cannot drift from the library (`benchfig -exp quickstart` runs the
+// same code).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro"
+	"repro/scenario"
 )
 
 func main() {
-	cfg := repro.DefaultSimulationConfig()
-	cfg.Run.FluidRanks = 4
-	cfg.Run.Steps = 3
-	cfg.Run.NumParticles = 1000
-
-	res, err := repro.RunSimulation(cfg)
+	s, err := scenario.Default.Get(repro.ScenarioQuickstart)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("respiratory CFPD quickstart")
-	fmt.Print(res.Summary())
-	fmt.Println("\nphase timeline:")
-	fmt.Print(res.Result.Trace.Render(90, 8))
+	a, err := s.Run(context.Background(), scenario.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(a.Text())
 }

@@ -2,50 +2,28 @@
 // laptop scale. A 10-micron aerosol bolus is injected through the face
 // during a rapid inhalation; the run reports where particles end up
 // (airway-wall deposition vs deep-lung arrival) and the per-phase load
-// balance that motivates the paper's runtime techniques.
+// balance that motivates the paper's runtime techniques. The workload is
+// the registered "respiratory" scenario (`benchfig -exp respiratory`
+// runs the same code).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro"
-	"repro/internal/coupling"
-	"repro/internal/metrics"
-	"repro/internal/tasking"
-	"repro/internal/trace"
+	"repro/scenario"
 )
 
 func main() {
-	cfg := repro.DefaultSimulationConfig()
-	cfg.Mesh.Generations = 3 // deeper bronchial tree
-	cfg.Run.Mode = coupling.Synchronous
-	cfg.Run.FluidRanks = 16
-	cfg.Run.RanksPerNode = 16
-	cfg.Run.Steps = 4
-	cfg.Run.NumParticles = 5000
-	cfg.Run.NS.Strategy = tasking.StrategyMultidep // the paper's best assembly strategy
-	cfg.Run.Species.Diameter = 10e-6               // 10 um inhaler aerosol
-	cfg.Run.Species.Density = 1000
-
-	res, err := repro.RunSimulation(cfg)
+	s, err := scenario.Default.Get(repro.ScenarioRespiratory)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Println("aerosolized drug delivery — rapid inhalation")
-	fmt.Printf("mesh: %s\n\n", res.Mesh)
-	r := res.Result
-	fmt.Printf("injected through the face:   %6d particles\n", r.Injected)
-	fmt.Printf("deposited on airway walls:   %6d (lost fraction, extrathoracic+bronchial)\n", r.Deposited)
-	fmt.Printf("reached the deep lung:       %6d (therapeutic fraction)\n", r.Exited)
-	fmt.Printf("still airborne after %d steps: %4d\n\n", cfg.Run.Steps, r.ActiveEnd)
-
-	// The load-balance pathology the paper measures (Table 1): right
-	// after injection, particle work sits on the inlet-owning ranks.
-	pt := r.Trace.PhaseTimes()
-	fmt.Printf("particle-phase load balance Ln = %.3f (1.0 = balanced; the paper measures 0.02 at 96 ranks)\n",
-		metrics.LoadBalance(pt[trace.PhaseParticles]))
-	fmt.Printf("assembly-phase load balance Ln = %.3f\n",
-		metrics.LoadBalance(pt[trace.PhaseAssembly]))
+	a, err := s.Run(context.Background(), scenario.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(a.Text())
 }

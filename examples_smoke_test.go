@@ -1,0 +1,29 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartExampleBuildsAndRuns builds and runs the cheapest
+// examples/ main end to end: the wrappers must stay runnable, not just
+// compilable. Skipped under -short (it execs the go tool).
+func TestQuickstartExampleBuildsAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a child go process")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	out, err := exec.Command(gobin, "run", "./examples/quickstart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"respiratory CFPD quickstart", "injected=", "phase timeline:"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -9,7 +10,6 @@ import (
 	"repro/internal/coupling"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
-	"repro/internal/navierstokes"
 	"repro/internal/perfmodel"
 	"repro/internal/tasking"
 	"repro/internal/trace"
@@ -44,13 +44,24 @@ func DefaultTable1Options() Table1Options {
 //
 // The Ln column and the phase structure are measured from the real work
 // distribution of this reproduction (partition cost imbalance, particle
-// concentration at the inlet). The absolute per-phase kernel speeds of
-// the paper's machines are not observable here, so the cost-model units
-// are first calibrated with a probe run such that a pure-MPI step
-// reproduces the paper's assembly/solver/SGS/particle magnitudes, and
-// the final run is then measured under those units. Ln is independent of
-// the units. See DESIGN.md (Experiments methodology).
+// concentration at the inlet). The cost-model units come from
+// CalibratePhaseUnits against the paper's Table-1 shares, so a pure-MPI
+// step reproduces the paper's assembly/solver/SGS/particle magnitudes;
+// Ln is independent of the units. See DESIGN.md (Experiments
+// methodology). The run is memoized per option set and shared with
+// Figure2's trace rendering: regenerating both costs one probe +
+// measured coupling.Run pair, not two.
 func Table1(opts Table1Options) (*Table1Result, error) {
+	return Table1Context(context.Background(), opts)
+}
+
+// Table1Context is Table1 with cooperative cancellation between steps.
+func Table1Context(ctx context.Context, opts Table1Options) (*Table1Result, error) {
+	return table1Shared(ctx, opts)
+}
+
+// table1Run performs the actual (uncached) probe + measured pair.
+func table1Run(ctx context.Context, opts Table1Options) (*Table1Result, error) {
 	mc := mesh.DefaultAirwayConfig()
 	mc.Generations = opts.MeshGen
 	mc.NTheta = 10
@@ -74,45 +85,14 @@ func Table1(opts Table1Options) (*Table1Result, error) {
 		return nil, err
 	}
 
-	// Probe run under unit costs to observe raw per-phase maxima (same
-	// step count as the final run: solver iteration counts evolve as the
-	// flow develops).
-	probe := rc
-	probe.Cost = navierstokes.CostModel{AssemblyUnit: 1, SolverUnit: 1, SGSUnit: 1}
-	probe.ParticleUnit = 1
-	pres, err := coupling.Run(m, probe)
+	cal, err := CalibratePhaseUnits(ctx, m, rc, PaperTable1)
 	if err != nil {
 		return nil, err
 	}
-	rawMax := func(p trace.Phase) float64 {
-		max := 0.0
-		for _, v := range pres.Trace.PhaseTimes()[p] {
-			if v > max {
-				max = v
-			}
-		}
-		return max
-	}
-	maxA := rawMax(trace.PhaseAssembly)
-	unit := func(share float64, raw float64) float64 {
-		if raw == 0 {
-			return 1
-		}
-		return share / PaperTable1[0].Percent * maxA / raw
-	}
-	// Calibrated units: assembly is the reference; each remaining phase
-	// gets its own per-unit cost (the paper's machines fix the absolute
-	// kernel speeds; this reproduction can only measure distributions).
-	rc.Cost = navierstokes.CostModel{
-		AssemblyUnit: 1,
-		SolverUnit:   unit(PaperTable1[1].Percent, rawMax(trace.PhaseSolver1)),
-		Solver2Unit:  unit(PaperTable1[2].Percent, rawMax(trace.PhaseSolver2)),
-		SGSUnit:      unit(PaperTable1[3].Percent, rawMax(trace.PhaseSGS)),
-	}
-	rc.ParticleUnit = unit(PaperTable1[4].Percent, rawMax(trace.PhaseParticles))
+	cal.Apply(&rc)
 
 	// Measured run.
-	res, err := coupling.Run(m, rc)
+	res, err := coupling.RunContext(ctx, m, rc)
 	if err != nil {
 		return nil, err
 	}
@@ -146,9 +126,16 @@ func (t *Table1Result) Format() string {
 	return sb.String()
 }
 
-// Figure2 renders the Paraver-style timeline of the Table 1 run.
+// Figure2 renders the Paraver-style timeline of the Table 1 run. The
+// underlying calibrated run is shared with Table1: rendering both for
+// the same options executes the simulation once.
 func Figure2(opts Table1Options, width, maxRows int) (string, error) {
-	t, err := Table1(opts)
+	return Figure2Context(context.Background(), opts, width, maxRows)
+}
+
+// Figure2Context is Figure2 with cooperative cancellation between steps.
+func Figure2Context(ctx context.Context, opts Table1Options, width, maxRows int) (string, error) {
+	t, err := table1Shared(ctx, opts)
 	if err != nil {
 		return "", err
 	}

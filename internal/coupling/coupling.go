@@ -15,7 +15,9 @@
 package coupling
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dlb"
@@ -78,6 +80,12 @@ type RunConfig struct {
 	WorkersPerRank int
 	UseDLB         bool
 	Seed           int64
+
+	// OnStep, when set, is called by world rank 0 after each completed
+	// time step with the zero-based step index. It runs inside the rank
+	// goroutine: keep it cheap, and do not call back into the run. It is
+	// the hook progress reporting and cancellation tests build on.
+	OnStep func(step int)
 }
 
 // DefaultRunConfig returns a small synchronous run.
@@ -116,6 +124,16 @@ type RunResult struct {
 
 // Run executes the configured simulation on mesh m.
 func Run(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
+	return RunContext(context.Background(), m, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: between time steps
+// every rank agrees (through a world-level collective) on whether ctx has
+// been cancelled, so all ranks stop at the same step boundary and the run
+// returns ctx.Err() with no dangling sends or receives. A context that
+// can never be cancelled (ctx.Done() == nil, e.g. context.Background())
+// adds no collective and no overhead.
+func RunContext(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 	if cfg.Mode == Synchronous && cfg.ParticleRanks != 0 {
 		return nil, fmt.Errorf("coupling: synchronous mode takes no particle ranks")
 	}
@@ -130,11 +148,50 @@ func Run(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 	}
 	switch cfg.Mode {
 	case Synchronous:
-		return runSynchronous(m, cfg)
+		return runSynchronous(ctx, m, cfg)
 	case Coupled:
-		return runCoupled(m, cfg)
+		return runCoupled(ctx, m, cfg)
 	}
 	return nil, fmt.Errorf("coupling: unknown mode %d", cfg.Mode)
+}
+
+// stepCanceller decides, once per time step, whether the whole world
+// stops. Every rank must call next() the same number of times: the
+// decision is a world-level max-allreduce, which is what guarantees all
+// ranks break at the same step boundary (a lone rank observing the cancel
+// first cannot abandon peers blocked in a halo exchange). Cancellation is
+// only observed between steps — a step in flight always completes.
+type stepCanceller struct {
+	ctx       context.Context
+	cancelled *atomic.Bool
+}
+
+func newStepCanceller(ctx context.Context) *stepCanceller {
+	return &stepCanceller{ctx: ctx, cancelled: new(atomic.Bool)}
+}
+
+// next reports whether the world agreed to stop before this step.
+func (sc *stepCanceller) next(c *simmpi.Comm) bool {
+	if sc.ctx.Done() == nil {
+		return false
+	}
+	flag := 0
+	if sc.ctx.Err() != nil {
+		flag = 1
+	}
+	if c.AllreduceInt(flag, simmpi.OpMax) > 0 {
+		sc.cancelled.Store(true)
+		return true
+	}
+	return false
+}
+
+// err returns ctx.Err() if the run was stopped by cancellation.
+func (sc *stepCanceller) err() error {
+	if sc.cancelled.Load() {
+		return sc.ctx.Err()
+	}
+	return nil
 }
 
 // buildPartition partitions m into k rank meshes with cost weights.
@@ -186,7 +243,7 @@ func closePools(pools []*tasking.Pool) {
 }
 
 // runSynchronous: all ranks do fluid then particles (Figure 3, top).
-func runSynchronous(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
+func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 	n := cfg.FluidRanks
 	rms, err := buildPartition(m, n)
 	if err != nil {
@@ -204,6 +261,7 @@ func runSynchronous(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 	deposited := make([]int, n)
 	exited := make([]int, n)
 	activeEnd := make([]int, n)
+	cancel := newStepCanceller(ctx)
 
 	start := time.Now()
 	err = world.Run(func(r *simmpi.Rank) {
@@ -220,6 +278,9 @@ func runSynchronous(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 		peers := haloPeers(rms[id])
 
 		for step := 0; step < cfg.Steps; step++ {
+			if cancel.next(r.Comm) {
+				break
+			}
 			if _, err := ns.Step(); err != nil {
 				panic(err)
 			}
@@ -232,12 +293,18 @@ func runSynchronous(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 			tr.Ranks[id].Advance(trace.PhaseParticles, float64(tk.WorkUnits-w0)*cfg.ParticleUnit)
 			maxClock := r.Comm.AllreduceFloat64(tr.Ranks[id].Clock(), simmpi.OpMax)
 			tr.Ranks[id].AlignTo(maxClock)
+			if id == 0 && cfg.OnStep != nil {
+				cfg.OnStep(step)
+			}
 		}
 		a, dd, ee := tk.Counts()
 		deposited[id], exited[id], activeEnd[id] = dd, ee, a
 	})
 	res.Wall = time.Since(start)
 	if err != nil {
+		return nil, err
+	}
+	if err := cancel.err(); err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -295,7 +362,7 @@ func buildTransfer(fluidRMs, partRMs []*partition.RankMesh) *velocityTransfer {
 }
 
 // runCoupled: f fluid ranks + p particle ranks (Figure 3, bottom).
-func runCoupled(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
+func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 	f, p := cfg.FluidRanks, cfg.ParticleRanks
 	total := f + p
 	fluidRMs, err := buildPartition(m, f)
@@ -320,6 +387,7 @@ func runCoupled(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 	deposited := make([]int, total)
 	exited := make([]int, total)
 	activeEnd := make([]int, total)
+	cancel := newStepCanceller(ctx)
 
 	start := time.Now()
 	err = world.Run(func(r *simmpi.Rank) {
@@ -337,6 +405,12 @@ func runCoupled(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 				panic(err)
 			}
 			for step := 0; step < cfg.Steps; step++ {
+				// The cancel collective spans the WHOLE world (not the
+				// fluid sub-communicator), so both codes agree on the
+				// stopping step and no shipped velocity goes unconsumed.
+				if cancel.next(r.Comm) {
+					break
+				}
 				if _, err := ns.Step(); err != nil {
 					panic(err)
 				}
@@ -352,6 +426,9 @@ func runCoupled(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 						buf[1+3*i+2] = v.Z
 					}
 					r.Comm.Send(f+xl.peer, tagVelocity, buf)
+				}
+				if id == 0 && cfg.OnStep != nil {
+					cfg.OnStep(step)
 				}
 			}
 			return
@@ -375,6 +452,10 @@ func runCoupled(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 			return mesh.Vec3{}
 		}
 		for step := 0; step < cfg.Steps; step++ {
+			// Mirror of the fluid loop's world-level cancel collective.
+			if cancel.next(r.Comm) {
+				break
+			}
 			// Receive this step's velocity field from all fluid sources.
 			senderClock := 0.0
 			shipped := 0
@@ -406,6 +487,9 @@ func runCoupled(m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 	})
 	res.Wall = time.Since(start)
 	if err != nil {
+		return nil, err
+	}
+	if err := cancel.err(); err != nil {
 		return nil, err
 	}
 	for i := 0; i < total; i++ {

@@ -23,11 +23,11 @@ type Locator struct {
 	m     *mesh.Mesh
 	elems []int32 // element subset (global ids)
 
-	origin  mesh.Vec3
-	cell    float64
-	nx, ny  int
-	nz      int
-	tol     float64
+	origin mesh.Vec3
+	cell   float64
+	nx, ny int
+	nz     int
+	tol    float64
 
 	// Flat CSR grid (default): cell k's candidates are
 	// cellElems[cellPtr[k]:cellPtr[k+1]]. Only a build-time intermediate:

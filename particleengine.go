@@ -14,8 +14,9 @@ import (
 // engine on the default benchmark mesh (a generation-2 airway): flat-grid
 // versus map-bucket locator (build and query), and the seed's serial AoS
 // tracker versus the SoA tracker serial and sharded across workers. It
-// backs `benchfig -exp particles`; `go test -bench` gives the same
-// numbers with testing-grade methodology.
+// backs the registered "particles" scenario (`benchfig -exp particles`);
+// `go test -bench` gives the same numbers with testing-grade
+// methodology.
 func ParticleEngineReport() (string, error) {
 	mc := mesh.DefaultAirwayConfig()
 	mc.Generations = 2

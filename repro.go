@@ -22,11 +22,19 @@
 //     work distributions with architecture profiles calibrated from the
 //     measurements the paper itself reports.
 //
-// DESIGN.md documents the two-layer architecture, the SoA particle
-// engine, and the experiments methodology.
+// Every experiment and example workload is also registered as a named
+// scenario in the repro/scenario registry (importing this package
+// populates scenario.Default): scenarios take functional-option
+// parameters, honor context cancellation, and return typed artifacts
+// that render uniformly to text, JSON and CSV. cmd/benchfig is a thin
+// CLI over that registry; see README.md for the scenario API.
+//
+// DESIGN.md documents the two-layer architecture, the scenario API
+// layer, the SoA particle engine, and the experiments methodology.
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coupling"
@@ -60,11 +68,18 @@ type SimulationResult struct {
 
 // RunSimulation generates the mesh and executes the configured run.
 func RunSimulation(cfg SimulationConfig) (*SimulationResult, error) {
+	return RunSimulationContext(context.Background(), cfg)
+}
+
+// RunSimulationContext is RunSimulation with cooperative cancellation: a
+// ctx cancel stops the run at the next time-step boundary on every rank
+// and returns ctx.Err().
+func RunSimulationContext(ctx context.Context, cfg SimulationConfig) (*SimulationResult, error) {
 	m, err := mesh.GenerateAirway(cfg.Mesh)
 	if err != nil {
 		return nil, fmt.Errorf("repro: mesh generation: %w", err)
 	}
-	res, err := coupling.Run(m, cfg.Run)
+	res, err := coupling.RunContext(ctx, m, cfg.Run)
 	if err != nil {
 		return nil, fmt.Errorf("repro: run: %w", err)
 	}

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func stub(name string, tags ...string) Scenario {
+	return New(name, "stub "+name, tags, func(ctx context.Context, p Params) (*Artifact, error) {
+		return &Artifact{Scenario: name, Kind: KindReport, Report: name + "\n"}, nil
+	})
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(stub("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(stub("a")); err == nil {
+		t.Fatal("duplicate name must be rejected")
+	} else if !strings.Contains(err.Error(), `"a"`) {
+		t.Fatalf("duplicate error should name the scenario: %v", err)
+	}
+	if err := r.Register(stub("")); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+	if got := len(r.Names()); got != 1 {
+		t.Fatalf("failed registrations must not be recorded: %d names", got)
+	}
+}
+
+func TestRegistryGetUnknownListsScenarios(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(stub("table1"))
+	r.MustRegister(stub("fig2"))
+	_, err := r.Get("nope")
+	if err == nil {
+		t.Fatal("unknown name must error")
+	}
+	for _, want := range []string{`"nope"`, "table1", "fig2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q should mention %q", err, want)
+		}
+	}
+}
+
+func TestRegistryPreservesOrder(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"c", "a", "b"}
+	for _, n := range names {
+		r.MustRegister(stub(n))
+	}
+	got := r.Names()
+	for i, n := range names {
+		if got[i] != n {
+			t.Fatalf("order %v, want %v", got, names)
+		}
+	}
+	scs := r.Scenarios()
+	for i, n := range names {
+		if scs[i].Name() != n {
+			t.Fatalf("scenario order broken at %d", i)
+		}
+	}
+}
+
+func TestRegistrySelectAndTags(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(stub("t1", "paper", "table"))
+	r.MustRegister(stub("f6", "paper", "figure"))
+	r.MustRegister(stub("ex", "example"))
+
+	scs, err := r.Select([]string{"ex", "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 || scs[0].Name() != "ex" || scs[1].Name() != "t1" {
+		t.Fatal("Select must keep input order")
+	}
+	if _, err := r.Select([]string{"t1", "zzz"}); err == nil {
+		t.Fatal("Select with an unknown name must fail")
+	}
+
+	paper := r.WithTag("paper")
+	if len(paper) != 2 || paper[0].Name() != "t1" || paper[1].Name() != "f6" {
+		t.Fatalf("WithTag(paper) = %d scenarios", len(paper))
+	}
+	tags := r.Tags()
+	if len(tags) != 4 { // example, figure, paper, table — sorted
+		t.Fatalf("tags = %v", tags)
+	}
+	if tags[0] != "example" || tags[3] != "table" {
+		t.Fatalf("tags not sorted: %v", tags)
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(stub("x"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister must panic on duplicate")
+		}
+	}()
+	r.MustRegister(stub("x"))
+}

@@ -17,7 +17,8 @@ import (
 // back the paper's Solver1/Solver2 phases — SpMV, the fixed-chunk inner
 // product, and full fixed-iteration Krylov sweeps — serial versus pooled
 // at 2 and 4 workers, plus the Ganser drag fast path against its
-// math.Pow reference. It backs `benchfig -exp solver`; `go test -bench
+// math.Pow reference. It backs the registered "solver" scenario
+// (`benchfig -exp solver`); `go test -bench
 // 'SpMV|Dot|PCG|BiCGSTAB|GanserCd'` gives the same numbers with
 // testing-grade methodology. All pooled kernels are bit-identical to
 // their serial references at any worker count (the la equivalence
