@@ -1,0 +1,283 @@
+// benchout: machine-readable A/B micro-benchmarks for the perf
+// trajectory. `benchfig -benchout FILE` measures the allocation-heavy
+// legacy paths against their zero-allocation steady-state counterparts
+// (Krylov workspace solvers, leased halo buffers, typed collectives,
+// the sharded particle step) and writes ns/op + allocs/op as JSON —
+// the format the CI smoke step validates and BENCH_<pr>.json snapshots
+// accumulate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/la"
+	"repro/internal/mesh"
+	"repro/internal/particles"
+	"repro/internal/simmpi"
+)
+
+// benchResult is one measured configuration.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// benchReport is the file schema.
+type benchReport struct {
+	Schema     string        `json:"schema"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Benches    []benchResult `json:"benches"`
+}
+
+const benchSchema = "repro/bench/v1"
+
+// benchQuick, when set (by tests), divides the measured iteration
+// counts so the schema and zero-alloc contracts can be pinned without
+// paying the full measurement wall-clock (worthless under -race
+// instrumentation anyway).
+var benchQuick bool
+
+// scaledIters applies the quick-mode reduction.
+func scaledIters(n int) int {
+	if benchQuick {
+		n /= 10
+		if n < 3 {
+			n = 3
+		}
+	}
+	return n
+}
+
+// measureLoop times fn over iters iterations after warmup rounds and
+// reads heap counters around the measured window. Allocations on every
+// goroutine count (runtime.MemStats is process-wide), which is what the
+// world-based benches need.
+func measureLoop(name string, warmup, iters int, fn func()) benchResult {
+	for i := 0; i < warmup; i++ {
+		fn()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return benchResult{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+	}
+}
+
+// benchChainMatrix builds the n-unknown tridiagonal SPD system the
+// Krylov benches solve.
+func benchChainMatrix(n int) *la.CSRMatrix {
+	lists := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			lists[i] = append(lists[i], int32(i-1))
+		}
+		if i < n-1 {
+			lists[i] = append(lists[i], int32(i+1))
+		}
+	}
+	a := la.NewCSRFromGraph(graph.FromAdjacency(lists))
+	for i := 0; i < n; i++ {
+		a.Val[a.Find(int32(i), int32(i))] = 4
+		if i > 0 {
+			a.Val[a.Find(int32(i), int32(i-1))] = -1
+		}
+		if i < n-1 {
+			a.Val[a.Find(int32(i), int32(i+1))] = -1
+		}
+	}
+	return a
+}
+
+func benchKrylov(results *[]benchResult) {
+	const n = 4096
+	a := benchChainMatrix(n)
+	d := make([]float64, n)
+	a.Diagonal(d)
+	inv := make([]float64, n)
+	la.JacobiInvInto(d, inv)
+	apply := la.JacobiApplier(inv)
+	ops := la.OpsFromMatrix(a)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	x := make([]float64, n)
+	ws := la.NewKrylovWorkspace(n)
+
+	*results = append(*results,
+		measureLoop("pcg/alloc", 3, scaledIters(30), func() {
+			la.Fill(x, 0)
+			if _, err := la.PCG(ops, apply, b, x, 1e-8, 200); err != nil {
+				panic(err)
+			}
+		}),
+		measureLoop("pcg/workspace", 3, scaledIters(30), func() {
+			la.Fill(x, 0)
+			if _, err := la.PCGWithWorkspace(ops, apply, b, x, 1e-8, 200, ws); err != nil {
+				panic(err)
+			}
+		}),
+		measureLoop("bicgstab/alloc", 3, scaledIters(30), func() {
+			la.Fill(x, 0)
+			if _, err := la.BiCGSTAB(ops, apply, b, x, 1e-8, 200); err != nil {
+				panic(err)
+			}
+		}),
+		measureLoop("bicgstab/workspace", 3, scaledIters(30), func() {
+			la.Fill(x, 0)
+			if _, err := la.BiCGSTABWithWorkspace(ops, apply, b, x, 1e-8, 200, ws); err != nil {
+				panic(err)
+			}
+		}),
+	)
+}
+
+// benchHalo measures one symmetric two-rank halo exchange per op, fresh
+// per-exchange buffers (the seed's pattern) against leased persistent
+// buffers. The measurement runs inside the world so only steady-state
+// rounds count.
+func benchHalo(results *[]benchResult) {
+	n, warmup, rounds := 512, 50, scaledIters(3000)
+	for _, leased := range []bool{false, true} {
+		name := "halo/fresh"
+		if leased {
+			name = "halo/persistent"
+		}
+		w, err := simmpi.NewWorld(2)
+		if err != nil {
+			panic(err)
+		}
+		var res benchResult
+		if err := w.Run(func(r *simmpi.Rank) {
+			peer := 1 - r.ID()
+			x := make([]float64, n)
+			round := func(tag int) {
+				if leased {
+					b := r.Comm.LeaseFloat64s(n)
+					copy(b.Data, x)
+					r.Comm.SendFloat64Buf(peer, tag, b)
+					rb := r.Comm.RecvFloat64Buf(peer, tag)
+					for i := range x {
+						x[i] += rb.Data[i]
+					}
+					rb.Release()
+				} else {
+					buf := make([]float64, n)
+					copy(buf, x)
+					r.Comm.Send(peer, tag, buf)
+					got := r.Comm.RecvFloat64s(peer, tag)
+					for i := range x {
+						x[i] += got[i]
+					}
+				}
+				la.Fill(x, 1) // keep values bounded across rounds
+			}
+			for i := 0; i < warmup; i++ {
+				round(i + 1)
+			}
+			r.Comm.Barrier()
+			if r.ID() == 0 {
+				res = measureLoop(name, 0, rounds, func() {
+					round(warmup + 1)
+				})
+			} else {
+				for i := 0; i < rounds; i++ {
+					round(warmup + 1)
+				}
+			}
+		}); err != nil {
+			panic(err)
+		}
+		// Both ranks exchange each op, so per-op cost is per rank-pair.
+		*results = append(*results, res)
+	}
+}
+
+// benchCollective measures the typed scalar allreduce on four ranks.
+func benchCollective(results *[]benchResult) {
+	warmup, rounds := 100, scaledIters(20000)
+	w, err := simmpi.NewWorld(4)
+	if err != nil {
+		panic(err)
+	}
+	var res benchResult
+	if err := w.Run(func(r *simmpi.Rank) {
+		round := func() { _ = r.Comm.AllreduceFloat64(float64(r.ID()), simmpi.OpMax) }
+		for i := 0; i < warmup; i++ {
+			round()
+		}
+		r.Comm.Barrier()
+		if r.ID() == 0 {
+			res = measureLoop("collective/allreduce-f64", 0, rounds, round)
+		} else {
+			for i := 0; i < rounds; i++ {
+				round()
+			}
+		}
+	}); err != nil {
+		panic(err)
+	}
+	*results = append(*results, res)
+}
+
+// benchTrackerStep measures the steady-state serial particle step.
+func benchTrackerStep(results *[]benchResult) {
+	cfg := mesh.DefaultAirwayConfig()
+	cfg.Generations = 2
+	cfg.NTheta = 8
+	cfg.NAxial = 4
+	m, err := mesh.GenerateAirway(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fluid := particles.AirAt20C()
+	fluid.Gravity = mesh.Vec3{}
+	tr := particles.NewTracker(m, nil, particles.Props{Diameter: 10e-6, Density: 1000}, fluid)
+	tr.InjectAtInlet(1000, 3, mesh.Vec3{})
+	still := func(int32) mesh.Vec3 { return mesh.Vec3{} }
+	*results = append(*results, measureLoop("tracker/step", 10, scaledIters(50), func() {
+		tr.Step(1e-4, still)
+	}))
+}
+
+// runBenchout executes the A/B suite and writes the JSON report to path
+// ('-' writes to stdout).
+func runBenchout(path string, stdout, stderr io.Writer) error {
+	var results []benchResult
+	fmt.Fprintln(stderr, "benchfig: running A/B benchmarks (krylov, halo, collective, tracker)...")
+	benchKrylov(&results)
+	benchHalo(&results)
+	benchCollective(&results)
+	benchTrackerStep(&results)
+	report := benchReport{Schema: benchSchema, GoMaxProcs: runtime.GOMAXPROCS(0), Benches: results}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err := stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

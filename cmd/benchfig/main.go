@@ -12,6 +12,7 @@
 //	benchfig -exp fig8 -format json    # typed artifact as JSON
 //	benchfig -exp all -format csv      # flat CSV over every artifact
 //	benchfig -exp fig6,fig8 -parallel 2 -progress
+//	benchfig -benchout BENCH_4.json    # A/B micro-benchmarks (ns/op, allocs/op)
 //
 // Unknown -exp names fail with the list of registered scenarios. `-exp
 // all` expands to the scenarios tagged "paper" (the pre-registry
@@ -56,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		platform = fs.String("platform", "", "restrict per-platform figures to one platform (MareNostrum4 or Thunder)")
 		width    = fs.Int("width", 100, "timeline width (trace scenarios)")
 		rows     = fs.Int("rows", 24, "timeline max rows (trace scenarios)")
+		benchout = fs.String("benchout", "", "run the A/B micro-benchmarks and write machine-readable ns/op + allocs/op JSON to this file ('-' for stdout), then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +71,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// Validated before any scenario runs: a typo must not discard a
 		// minutes-long suite.
 		return fmt.Errorf("unknown format %q (want text, json, or csv)", *format)
+	}
+	if *benchout != "" {
+		// -benchout runs the micro-benchmark suite instead of scenarios;
+		// a scenario selection alongside it would be silently ignored, so
+		// reject the combination loudly.
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "exp", "tags", "parallel", "progress", "platform", "width", "rows":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-benchout runs the benchmark suite and ignores scenario selection; drop -%s", conflict)
+		}
+		return runBenchout(*benchout, stdout, stderr)
 	}
 	reg := scenario.Default
 

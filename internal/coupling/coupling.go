@@ -276,6 +276,7 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 		// once reclaimed (and vice versa).
 		tk.SetPool(pools[id])
 		peers := haloPeers(rms[id])
+		velAt := ns.VelocityAt // hoisted: a per-step method value would allocate
 
 		for step := 0; step < cfg.Steps; step++ {
 			if cancel.next(r.Comm) {
@@ -288,7 +289,7 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 				injected[id] = particles.InjectAtInletCollective(r.Comm, tk, cfg.NumParticles, cfg.Seed, cfg.NS.InletVelocity)
 			}
 			w0 := tk.WorkUnits
-			tk.Step(cfg.NS.Props.Dt, ns.VelocityAt)
+			tk.Step(cfg.NS.Props.Dt, velAt)
 			particles.Migrate(r.Comm, tk, peers, tagMigrate)
 			tr.Ranks[id].Advance(trace.PhaseParticles, float64(tk.WorkUnits-w0)*cfg.ParticleUnit)
 			maxClock := r.Comm.AllreduceFloat64(tr.Ranks[id].Clock(), simmpi.OpMax)
@@ -415,17 +416,20 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 					panic(err)
 				}
 				// Ship owned velocities to particle ranks, stamping the
-				// sender's virtual clock (one-way pipeline).
+				// sender's virtual clock (one-way pipeline). The payload
+				// fills a leased transport buffer in place; the particle
+				// rank releases it back to the world freelist, so the
+				// steady-state shipment allocates nothing on either side.
 				for _, xl := range vt.sends[id] {
-					buf := make([]float64, 1+3*len(xl.nodes))
-					buf[0] = tr.Ranks[id].Clock()
+					buf := r.Comm.LeaseFloat64s(1 + 3*len(xl.nodes))
+					buf.Data[0] = tr.Ranks[id].Clock()
 					for i, g := range xl.nodes {
 						v := ns.VelocityAt(g)
-						buf[1+3*i] = v.X
-						buf[1+3*i+1] = v.Y
-						buf[1+3*i+2] = v.Z
+						buf.Data[1+3*i] = v.X
+						buf.Data[1+3*i+1] = v.Y
+						buf.Data[1+3*i+2] = v.Z
 					}
-					r.Comm.Send(f+xl.peer, tagVelocity, buf)
+					r.Comm.SendFloat64Buf(f+xl.peer, tagVelocity, buf)
 				}
 				if id == 0 && cfg.OnStep != nil {
 					cfg.OnStep(step)
@@ -456,11 +460,13 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 			if cancel.next(r.Comm) {
 				break
 			}
-			// Receive this step's velocity field from all fluid sources.
+			// Receive this step's velocity field from all fluid sources,
+			// reading each leased buffer in place and recycling it.
 			senderClock := 0.0
 			shipped := 0
 			for _, xl := range vt.recvs[pid] {
-				buf := r.Comm.RecvFloat64s(xl.peer, tagVelocity)
+				rb := r.Comm.RecvFloat64Buf(xl.peer, tagVelocity)
+				buf := rb.Data
 				if buf[0] > senderClock {
 					senderClock = buf[0]
 				}
@@ -470,6 +476,7 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 					}
 				}
 				shipped += len(xl.nodes)
+				rb.Release()
 			}
 			tr.Ranks[id].AlignTo(senderClock + float64(shipped)*cfg.TransferUnit)
 			if step == 0 {

@@ -46,15 +46,55 @@ const (
 // of *ParOps is valid: a nil *ParOps (or one built with a nil Runner)
 // runs everything serially, so call sites never need nil checks. A
 // ParOps is not safe for concurrent use by multiple goroutines (it
-// reuses a partials scratch buffer); each solver rank owns its own.
+// reuses a partials scratch buffer and the kernel argument slots); each
+// solver rank owns its own.
+//
+// The threaded kernels route their arguments through per-instance slots
+// read by loop bodies built once at construction, so a steady-state
+// kernel call allocates nothing (a per-call closure capturing the
+// arguments would escape to the heap on every invocation).
 type ParOps struct {
 	pool     Runner
 	partials []float64
+
+	// Argument slots + prebuilt bodies for the threaded kernels. Slots
+	// are set immediately before the ParallelFor and cleared after it so
+	// caller vectors are not retained between calls.
+	mvA      *CSRMatrix
+	mvX, mvY []float64
+	mvBody   func(lo, hi int)
+
+	dotX, dotY []float64
+	dotMask    []bool
+	dotParts   []float64
+	dotBody    func(lo, hi int)
+	mdotBody   func(lo, hi int)
+
+	axAlpha  float64
+	axX, axY []float64
+	axBody   func(lo, hi int)
 }
 
 // NewParOps returns a kernel layer over pool; pool may be nil for a
 // serial layer.
-func NewParOps(pool Runner) *ParOps { return &ParOps{pool: pool} }
+func NewParOps(pool Runner) *ParOps {
+	o := &ParOps{pool: pool}
+	o.initBodies()
+	return o
+}
+
+// initBodies builds the reusable loop bodies; they capture only the
+// receiver and read their arguments from the slots.
+func (o *ParOps) initBodies() {
+	o.mvBody = func(lo, hi int) { o.mvA.mulVecRows(o.mvX, o.mvY, lo, hi) }
+	o.dotBody = func(lo, hi int) {
+		o.dotParts[lo/reductionChunk] = dotRange(o.dotX, o.dotY, lo, hi)
+	}
+	o.mdotBody = func(lo, hi int) {
+		o.dotParts[lo/reductionChunk] = maskedDotRange(o.dotMask, o.dotX, o.dotY, lo, hi)
+	}
+	o.axBody = func(lo, hi int) { axpyRange(o.axAlpha, o.axX, o.axY, lo, hi) }
+}
 
 // threaded reports whether a loop of n iterations should fan out.
 func (o *ParOps) threaded(n int) bool {
@@ -76,9 +116,9 @@ func (o *ParOps) MulVec(a *CSRMatrix, x, y []float64) {
 		a.MulVec(x, y)
 		return
 	}
-	o.pool.ParallelFor(a.N, mulVecRowGrain, func(lo, hi int) {
-		a.mulVecRows(x, y, lo, hi)
-	})
+	o.mvA, o.mvX, o.mvY = a, x, y
+	o.pool.ParallelFor(a.N, mulVecRowGrain, o.mvBody)
+	o.mvA, o.mvX, o.mvY = nil, nil, nil
 }
 
 // Dot computes the inner product with the fixed-chunk deterministic
@@ -89,9 +129,9 @@ func (o *ParOps) Dot(x, y []float64) float64 {
 		return DotChunked(x, y)
 	}
 	parts := o.scratch(numChunks(len(x)))
-	o.pool.ParallelFor(len(x), reductionChunk, func(lo, hi int) {
-		parts[lo/reductionChunk] = dotRange(x, y, lo, hi)
-	})
+	o.dotX, o.dotY, o.dotParts = x, y, parts
+	o.pool.ParallelFor(len(x), reductionChunk, o.dotBody)
+	o.dotX, o.dotY, o.dotParts = nil, nil, nil
 	return sumOrdered(parts)
 }
 
@@ -104,9 +144,9 @@ func (o *ParOps) MaskedDot(mask []bool, x, y []float64) float64 {
 		return MaskedDotChunked(mask, x, y)
 	}
 	parts := o.scratch(numChunks(len(x)))
-	o.pool.ParallelFor(len(x), reductionChunk, func(lo, hi int) {
-		parts[lo/reductionChunk] = maskedDotRange(mask, x, y, lo, hi)
-	})
+	o.dotMask, o.dotX, o.dotY, o.dotParts = mask, x, y, parts
+	o.pool.ParallelFor(len(x), reductionChunk, o.mdotBody)
+	o.dotMask, o.dotX, o.dotY, o.dotParts = nil, nil, nil, nil
 	return sumOrdered(parts)
 }
 
@@ -120,9 +160,9 @@ func (o *ParOps) Axpy(alpha float64, x, y []float64) {
 		Axpy(alpha, x, y)
 		return
 	}
-	o.pool.ParallelFor(len(x), 0, func(lo, hi int) {
-		axpyRange(alpha, x, y, lo, hi)
-	})
+	o.axAlpha, o.axX, o.axY = alpha, x, y
+	o.pool.ParallelFor(len(x), 0, o.axBody)
+	o.axX, o.axY = nil, nil
 }
 
 // Range runs body over [0,n) on the pool, or inline when the layer is

@@ -54,6 +54,15 @@ var ErrBreakdown = errors.New("la: krylov breakdown")
 // the given diagonal; zero diagonal entries pass through unscaled.
 func JacobiPreconditioner(diag []float64) func(r, z []float64) {
 	inv := make([]float64, len(diag))
+	JacobiInvInto(diag, inv)
+	return JacobiApplier(inv)
+}
+
+// JacobiInvInto fills inv with the inverse diagonal the Jacobi
+// preconditioner applies (zero entries pass through unscaled). It lets a
+// solver refresh a persistent preconditioner in place each step instead
+// of allocating a new one.
+func JacobiInvInto(diag, inv []float64) {
 	for i, d := range diag {
 		if d != 0 {
 			inv[i] = 1 / d
@@ -61,6 +70,13 @@ func JacobiPreconditioner(diag []float64) func(r, z []float64) {
 			inv[i] = 1
 		}
 	}
+}
+
+// JacobiApplier returns the application closure z = inv ⊙ r over a
+// caller-owned inverse diagonal; refreshing inv in place (JacobiInvInto)
+// retargets the same closure at a new matrix diagonal with no
+// allocation.
+func JacobiApplier(inv []float64) func(r, z []float64) {
 	return func(r, z []float64) {
 		for i := range r {
 			z[i] = r[i] * inv[i]
@@ -73,20 +89,25 @@ func IdentityPreconditioner(r, z []float64) { copy(z, r) }
 
 // PCG solves A x = b with preconditioned conjugate gradients; A must be
 // symmetric positive definite. x holds the initial guess on entry and the
-// solution on exit.
+// solution on exit. It allocates a fresh workspace per call; hot paths
+// should hold a KrylovWorkspace and call PCGWithWorkspace.
 func PCG(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, maxIter int) (SolveStats, error) {
+	return PCGWithWorkspace(ops, precond, b, x, tol, maxIter, NewKrylovWorkspace(ops.N))
+}
+
+// PCGWithWorkspace is PCG over caller-owned scratch: with a reused
+// workspace the steady-state solve allocates nothing, and the iterates
+// are bit-identical to PCG's (every scratch vector is fully written
+// before it is read).
+func PCGWithWorkspace(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, maxIter int, ws *KrylovWorkspace) (SolveStats, error) {
 	n := ops.N
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	ws.reserve(n)
+	ws.attach(b, x)
+	defer ws.detach()
+	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 
 	ops.MatVec(x, r)
-	ops.Vec.Range(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			r[i] = b[i] - r[i]
-		}
-	})
+	ops.Vec.Range(n, ws.resid)
 	bnorm := math.Sqrt(ops.Dot(b, b))
 	if bnorm == 0 {
 		bnorm = 1
@@ -112,13 +133,9 @@ func PCG(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, max
 		ops.Vec.Axpy(-alpha, ap, r)
 		precond(r, z)
 		rzNew := ops.Dot(r, z)
-		beta := rzNew / rz
+		ws.beta = rzNew / rz
 		rz = rzNew
-		ops.Vec.Range(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				p[i] = z[i] + beta*p[i]
-			}
-		})
+		ops.Vec.Range(n, ws.pcgP)
 		stats.Iterations = k + 1
 	}
 	rnorm := math.Sqrt(ops.Dot(r, r))
@@ -128,24 +145,27 @@ func PCG(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, max
 }
 
 // BiCGSTAB solves A x = b for general (nonsymmetric) A with the
-// stabilized bi-conjugate gradient method and a right preconditioner.
+// stabilized bi-conjugate gradient method and a right preconditioner. It
+// allocates a fresh workspace per call; hot paths should hold a
+// KrylovWorkspace and call BiCGSTABWithWorkspace.
 func BiCGSTAB(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, maxIter int) (SolveStats, error) {
+	return BiCGSTABWithWorkspace(ops, precond, b, x, tol, maxIter, NewKrylovWorkspace(ops.N))
+}
+
+// BiCGSTABWithWorkspace is BiCGSTAB over caller-owned scratch: with a
+// reused workspace the steady-state solve allocates nothing, and the
+// iterates are bit-identical to BiCGSTAB's (every scratch vector is
+// fully written before it is read).
+func BiCGSTABWithWorkspace(ops Ops, precond func(r, z []float64), b, x []float64, tol float64, maxIter int, ws *KrylovWorkspace) (SolveStats, error) {
 	n := ops.N
-	r := make([]float64, n)
-	rhat := make([]float64, n)
-	p := make([]float64, n)
-	v := make([]float64, n)
-	s := make([]float64, n)
-	t := make([]float64, n)
-	phat := make([]float64, n)
-	shat := make([]float64, n)
+	ws.reserve(n)
+	ws.attach(b, x)
+	defer ws.detach()
+	r, rhat, p, v := ws.r, ws.rhat, ws.p, ws.v
+	s, t, phat, shat := ws.s, ws.t, ws.phat, ws.shat
 
 	ops.MatVec(x, r)
-	ops.Vec.Range(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			r[i] = b[i] - r[i]
-		}
-	})
+	ops.Vec.Range(n, ws.resid)
 	copy(rhat, r)
 	bnorm := math.Sqrt(ops.Dot(b, b))
 	if bnorm == 0 {
@@ -167,12 +187,9 @@ func BiCGSTAB(ops Ops, precond func(r, z []float64), b, x []float64, tol float64
 		if k == 0 {
 			copy(p, r)
 		} else {
-			beta := (rhoNew / rho) * (alpha / omega)
-			ops.Vec.Range(n, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					p[i] = r[i] + beta*(p[i]-omega*v[i])
-				}
-			})
+			ws.beta = (rhoNew / rho) * (alpha / omega)
+			ws.omega = omega
+			ops.Vec.Range(n, ws.bicgP)
 		}
 		rho = rhoNew
 		precond(p, phat)
@@ -182,12 +199,8 @@ func BiCGSTAB(ops Ops, precond func(r, z []float64), b, x []float64, tol float64
 			return stats, ErrBreakdown
 		}
 		alpha = rho / den
-		aStep := alpha
-		ops.Vec.Range(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				s[i] = r[i] - aStep*v[i]
-			}
-		})
+		ws.alpha = alpha
+		ops.Vec.Range(n, ws.bicgS)
 		snorm := math.Sqrt(ops.Dot(s, s))
 		if snorm/bnorm <= tol {
 			ops.Vec.Axpy(alpha, phat, x)
@@ -206,17 +219,9 @@ func BiCGSTAB(ops Ops, precond func(r, z []float64), b, x []float64, tol float64
 		if omega == 0 {
 			return stats, ErrBreakdown
 		}
-		oStep := omega
-		ops.Vec.Range(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				x[i] += aStep*phat[i] + oStep*shat[i]
-			}
-		})
-		ops.Vec.Range(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				r[i] = s[i] - oStep*t[i]
-			}
-		})
+		ws.omega = omega
+		ops.Vec.Range(n, ws.bicgX)
+		ops.Vec.Range(n, ws.bicgR)
 		stats.Iterations = k + 1
 	}
 	rnorm := math.Sqrt(ops.Dot(r, r))

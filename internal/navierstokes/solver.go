@@ -152,6 +152,26 @@ type Solver struct {
 	// and gradient contributions (4 floats per slot).
 	elemFe   []float64
 	elemCorr []float64
+
+	// Steady-state allocation discipline: everything the step loop needs
+	// is built once here and reused — the Krylov workspace, the
+	// distributed ops (whose closures would otherwise be remade per
+	// solve), the Jacobi diagonals/appliers (the pressure matrix L is
+	// constant, so its preconditioner is built once; the momentum
+	// diagonal is refreshed in place each step), and the assembly
+	// kernels/scatters.
+	ws         *la.KrylovWorkspace
+	opsA, opsL la.Ops
+	diag       []float64 // momentum diagonal scratch (refreshed per step)
+	momInv     []float64 // momentum Jacobi inverse (refreshed per step)
+	momPrecond func(r, z []float64)
+	lPrecond   func(r, z []float64)
+
+	asmKernel, sgsKernel tasking.Kernel
+	asmPlain, asmAtomic  *tasking.Scatter
+	noopScatter          *tasking.Scatter
+	prhsBody, corrBody   func(lo, hi int)
+	corrFinalBody        func(lo, hi int)
 }
 
 // NewSolver builds the per-rank solver. All ranks of comm must call it
@@ -260,6 +280,26 @@ func NewSolver(m *mesh.Mesh, rm *partition.RankMesh, comm *simmpi.Comm, pool *ta
 	// Constant pressure Laplacian with symmetric zero-Dirichlet rows.
 	s.assembleLaplacian()
 
+	// One-time construction of everything the step loop reuses (the
+	// zero-allocation steady state). L never changes after this point,
+	// so its halo-summed diagonal — and therefore the Solver2 Jacobi
+	// preconditioner — is computed once here; note the haloSum makes
+	// this part of the collective construction contract. The momentum
+	// preconditioner's inverse diagonal is refreshed in place each step
+	// through the same applier closure.
+	s.ws = la.NewKrylovWorkspace(n)
+	s.opsA = s.ops(s.A)
+	s.opsL = s.ops(s.L)
+	s.diag = make([]float64, n)
+	s.momInv = make([]float64, n)
+	s.momPrecond = la.JacobiApplier(s.momInv)
+	s.L.Diagonal(s.diag)
+	s.haloSum(s.diag)
+	lInv := make([]float64, n)
+	la.JacobiInvInto(s.diag, lInv)
+	s.lPrecond = la.JacobiApplier(lInv)
+	s.buildStepClosures()
+
 	return s, nil
 }
 
@@ -291,19 +331,23 @@ func (s *Solver) haloSum(x []float64) {
 	}
 	tag := s.nextTag()
 	// Snapshot partials first: with >2 ranks sharing a node, everyone
-	// must exchange original partials, not running sums.
+	// must exchange original partials, not running sums. The snapshots
+	// land directly in leased transport buffers that recycle through the
+	// world freelist — the persistent-request analogue that makes the
+	// steady-state exchange allocation-free.
 	for _, h := range s.RM.Halos {
-		buf := make([]float64, len(h.Nodes))
+		buf := s.Comm.LeaseFloat64s(len(h.Nodes))
 		for i, ln := range h.Nodes {
-			buf[i] = x[ln]
+			buf.Data[i] = x[ln]
 		}
-		s.Comm.Send(h.Peer, tag, buf)
+		s.Comm.SendFloat64Buf(h.Peer, tag, buf)
 	}
 	for _, h := range s.RM.Halos {
-		buf := s.Comm.RecvFloat64s(h.Peer, tag)
+		buf := s.Comm.RecvFloat64Buf(h.Peer, tag)
 		for i, ln := range h.Nodes {
-			x[ln] += buf[i]
+			x[ln] += buf.Data[i]
 		}
+		buf.Release()
 	}
 }
 

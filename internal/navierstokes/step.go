@@ -52,17 +52,12 @@ func (s *Solver) assembleLaplacian() {
 	}
 }
 
-// assembleMomentum rebuilds the momentum matrix and the three RHS vectors
-// with the configured strategy, then applies halo sums and boundary
-// conditions.
-func (s *Solver) assembleMomentum() error {
+// buildStepClosures constructs, once per solver, the kernels, scatters
+// and loop bodies the step loop submits every time step — remaking
+// these closures per call would heap-allocate on the hot path.
+func (s *Solver) buildStepClosures() {
 	n := s.RM.NumLocalNodes()
-	s.A.Zero()
-	for c := 0; c < 3; c++ {
-		la.Fill(s.rhs[c], 0)
-	}
-
-	kernel := func(e int, sc *tasking.Scatter) {
+	s.asmKernel = func(e int, sc *tasking.Scatter) {
 		scr := s.scratch.Get().(*fem.Scratch)
 		kind := s.RM.Kinds[e]
 		nen := kind.NodesPerElem()
@@ -86,27 +81,114 @@ func (s *Solver) assembleMomentum() error {
 		}
 		s.scratch.Put(scr)
 	}
-
-	plain := &tasking.Scatter{
+	s.asmPlain = &tasking.Scatter{
 		AddMat: func(i, j int32, v float64) { s.A.Add(i, j, v) },
 		AddVec: func(i int32, v float64) {
 			c := int(i) / n
 			s.rhs[c][int(i)%n] += v
 		},
 	}
+	s.asmAtomic = &tasking.Scatter{
+		AddMat: func(i, j int32, v float64) {
+			k := s.A.Find(i, j)
+			s.atomicMat.Add(k, v)
+		},
+		AddVec: func(i int32, v float64) { s.atomicVec.Add(int(i), v) },
+	}
+	s.sgsKernel = func(e int, _ *tasking.Scatter) {
+		scr := s.scratch.Get().(*fem.Scratch)
+		kind := s.RM.Kinds[e]
+		nen := kind.NodesPerElem()
+		nodes := s.RM.ElemNodesLocal(e)
+		for i, ln := range nodes {
+			scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+			scr.UConv[i] = mesh.Vec3{X: s.U[0][ln], Y: s.U[1][ln], Z: s.U[2][ln]}
+		}
+		s.SGS[e] = fem.SGSElement(kind, nen, s.Cfg.Props, scr)
+		s.scratch.Put(scr)
+	}
+	s.noopScatter = &tasking.Scatter{AddMat: func(int32, int32, float64) {}, AddVec: func(int32, float64) {}}
+	s.prhsBody = func(lo, hi int) {
+		scr := s.scratch.Get().(*fem.Scratch)
+		for e := lo; e < hi; e++ {
+			kind := s.RM.Kinds[e]
+			nen := kind.NodesPerElem()
+			nodes := s.RM.ElemNodesLocal(e)
+			for i, ln := range nodes {
+				scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+				scr.UConv[i] = mesh.Vec3{X: s.U[0][ln], Y: s.U[1][ln], Z: s.U[2][ln]}
+			}
+			fem.DivergenceRHS(kind, nen, s.Cfg.Props, scr)
+			copy(s.elemFe[e*fem.MaxElemNodes:(e+1)*fem.MaxElemNodes], scr.Fe[:])
+		}
+		s.scratch.Put(scr)
+	}
+	s.corrBody = func(lo, hi int) {
+		scr := s.scratch.Get().(*fem.Scratch)
+		for e := lo; e < hi; e++ {
+			kind := s.RM.Kinds[e]
+			nen := kind.NodesPerElem()
+			nodes := s.RM.ElemNodesLocal(e)
+			for i, ln := range nodes {
+				scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
+			}
+			slot := s.elemCorr[e*fem.MaxElemNodes*4 : (e+1)*fem.MaxElemNodes*4]
+			for i := range slot {
+				slot[i] = 0
+			}
+			basis := fem.BasisFor(kind)
+			for q := range basis.QP {
+				qp := &basis.QP[q]
+				det := fem.Jacobian(qp, nen, scr.Coords[:], &scr.GradN)
+				w := qp.W * abs(det)
+				var gp [3]float64
+				for a, ln := range nodes {
+					for c := 0; c < 3; c++ {
+						gp[c] += scr.GradN[a][c] * s.P[ln]
+					}
+				}
+				for a := range nodes {
+					wa := w * qp.N[a]
+					slot[a*4] += wa
+					for c := 0; c < 3; c++ {
+						slot[a*4+1+c] += wa * gp[c]
+					}
+				}
+			}
+		}
+		s.scratch.Put(scr)
+	}
+	s.corrFinalBody = func(lo, hi int) {
+		dtRho := s.Cfg.Props.Dt / s.Cfg.Props.Rho
+		for i := lo; i < hi; i++ {
+			if s.dirichlet[i] || s.lumped[i] == 0 {
+				continue
+			}
+			inv := 1 / s.lumped[i]
+			for c := 0; c < 3; c++ {
+				s.U[c][i] -= dtRho * s.gradScr[c][i] * inv
+			}
+		}
+	}
+}
+
+// assembleMomentum rebuilds the momentum matrix and the three RHS vectors
+// with the configured strategy, then applies halo sums and boundary
+// conditions.
+func (s *Solver) assembleMomentum() error {
+	n := s.RM.NumLocalNodes()
+	s.A.Zero()
+	for c := 0; c < 3; c++ {
+		la.Fill(s.rhs[c], 0)
+	}
+
 	var atomicS *tasking.Scatter
 	if s.plan.Strategy == tasking.StrategyAtomic {
 		s.atomicMat.Zero()
 		s.atomicVec.Zero()
-		atomicS = &tasking.Scatter{
-			AddMat: func(i, j int32, v float64) {
-				k := s.A.Find(i, j)
-				s.atomicMat.Add(k, v)
-			},
-			AddVec: func(i int32, v float64) { s.atomicVec.Add(int(i), v) },
-		}
+		atomicS = s.asmAtomic
 	}
-	if err := tasking.Assemble(s.Pool, s.plan, kernel, plain, atomicS); err != nil {
+	if err := tasking.Assemble(s.Pool, s.plan, s.asmKernel, s.asmPlain, atomicS); err != nil {
 		return err
 	}
 	if s.plan.Strategy == tasking.StrategyAtomic {
@@ -158,13 +240,15 @@ func (s *Solver) Step() (StepStats, error) {
 	s.advance(trace.PhaseAssembly, s.numWeight*s.Cost.AssemblyUnit)
 
 	// --- Phase: Solver1 (momentum, one BiCGSTAB per component) ---
-	diag := make([]float64, s.A.N)
-	s.A.Diagonal(diag)
-	s.haloSum(diag)
-	precond := la.JacobiPreconditioner(diag)
+	// The diagonal scratch, Jacobi inverse, distributed ops and Krylov
+	// workspace are all persistent; the momentum preconditioner is
+	// refreshed in place (A changes every step).
+	s.A.Diagonal(s.diag)
+	s.haloSum(s.diag)
+	la.JacobiInvInto(s.diag, s.momInv)
 	totalIters := 0
 	for c := 0; c < 3; c++ {
-		st, err := la.BiCGSTAB(s.ops(s.A), precond, s.rhs[c], s.U[c], s.Cfg.TolMomentum, s.Cfg.MaxIterMomentum)
+		st, err := la.BiCGSTABWithWorkspace(s.opsA, s.momPrecond, s.rhs[c], s.U[c], s.Cfg.TolMomentum, s.Cfg.MaxIterMomentum, s.ws)
 		if err != nil && err != la.ErrBreakdown {
 			return stats, fmt.Errorf("navierstokes: momentum solve: %w", err)
 		}
@@ -177,11 +261,9 @@ func (s *Solver) Step() (StepStats, error) {
 	s.advance(trace.PhaseSolver1, float64(totalIters)*s.ownedNNZ*s.Cost.SolverUnit)
 
 	// --- Phase: Solver2 (continuity / pressure Poisson) ---
+	// L is constant, so its preconditioner was built once in NewSolver.
 	s.assemblePressureRHS()
-	ldiag := make([]float64, s.L.N)
-	s.L.Diagonal(ldiag)
-	s.haloSum(ldiag)
-	pst, err := la.PCG(s.ops(s.L), la.JacobiPreconditioner(ldiag), s.prhs, s.P, s.Cfg.TolPressure, s.Cfg.MaxIterPressure)
+	pst, err := la.PCGWithWorkspace(s.opsL, s.lPrecond, s.prhs, s.P, s.Cfg.TolPressure, s.Cfg.MaxIterPressure, s.ws)
 	if err != nil && err != la.ErrBreakdown {
 		return stats, fmt.Errorf("navierstokes: pressure solve: %w", err)
 	}
@@ -216,21 +298,7 @@ func (s *Solver) AssembleMomentumForBenchmark() error {
 // loop at any worker count.
 func (s *Solver) assemblePressureRHS() {
 	la.Fill(s.prhs, 0)
-	s.par.Range(s.RM.NumElems(), func(lo, hi int) {
-		scr := s.scratch.Get().(*fem.Scratch)
-		for e := lo; e < hi; e++ {
-			kind := s.RM.Kinds[e]
-			nen := kind.NodesPerElem()
-			nodes := s.RM.ElemNodesLocal(e)
-			for i, ln := range nodes {
-				scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
-				scr.UConv[i] = mesh.Vec3{X: s.U[0][ln], Y: s.U[1][ln], Z: s.U[2][ln]}
-			}
-			fem.DivergenceRHS(kind, nen, s.Cfg.Props, scr)
-			copy(s.elemFe[e*fem.MaxElemNodes:(e+1)*fem.MaxElemNodes], scr.Fe[:])
-		}
-		s.scratch.Put(scr)
-	})
+	s.par.Range(s.RM.NumElems(), s.prhsBody)
 	for e := 0; e < s.RM.NumElems(); e++ {
 		fe := s.elemFe[e*fem.MaxElemNodes:]
 		for a, ln := range s.RM.ElemNodesLocal(e) {
@@ -255,41 +323,7 @@ func (s *Solver) correctVelocity() {
 		la.Fill(s.gradScr[c], 0)
 	}
 	la.Fill(s.lumped, 0)
-	s.par.Range(s.RM.NumElems(), func(lo, hi int) {
-		scr := s.scratch.Get().(*fem.Scratch)
-		for e := lo; e < hi; e++ {
-			kind := s.RM.Kinds[e]
-			nen := kind.NodesPerElem()
-			nodes := s.RM.ElemNodesLocal(e)
-			for i, ln := range nodes {
-				scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
-			}
-			slot := s.elemCorr[e*fem.MaxElemNodes*4 : (e+1)*fem.MaxElemNodes*4]
-			for i := range slot {
-				slot[i] = 0
-			}
-			basis := fem.BasisFor(kind)
-			for q := range basis.QP {
-				qp := &basis.QP[q]
-				det := fem.Jacobian(qp, nen, scr.Coords[:], &scr.GradN)
-				w := qp.W * abs(det)
-				var gp [3]float64
-				for a, ln := range nodes {
-					for c := 0; c < 3; c++ {
-						gp[c] += scr.GradN[a][c] * s.P[ln]
-					}
-				}
-				for a := range nodes {
-					wa := w * qp.N[a]
-					slot[a*4] += wa
-					for c := 0; c < 3; c++ {
-						slot[a*4+1+c] += wa * gp[c]
-					}
-				}
-			}
-		}
-		s.scratch.Put(scr)
-	})
+	s.par.Range(s.RM.NumElems(), s.corrBody)
 	for e := 0; e < s.RM.NumElems(); e++ {
 		slot := s.elemCorr[e*fem.MaxElemNodes*4:]
 		for a, ln := range s.RM.ElemNodesLocal(e) {
@@ -303,18 +337,7 @@ func (s *Solver) correctVelocity() {
 		s.haloSum(s.gradScr[c])
 	}
 	s.haloSum(s.lumped)
-	dtRho := s.Cfg.Props.Dt / s.Cfg.Props.Rho
-	s.par.Range(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if s.dirichlet[i] || s.lumped[i] == 0 {
-				continue
-			}
-			inv := 1 / s.lumped[i]
-			for c := 0; c < 3; c++ {
-				s.U[c][i] -= dtRho * s.gradScr[c][i] * inv
-			}
-		}
-	})
+	s.par.Range(n, s.corrFinalBody)
 }
 
 // updateSGS recomputes the per-element subgrid-scale velocity with the
@@ -322,20 +345,7 @@ func (s *Solver) correctVelocity() {
 // owns its slot — so the "atomic" label executes no atomics (the paper's
 // point in Figure 7).
 func (s *Solver) updateSGS() error {
-	kernel := func(e int, _ *tasking.Scatter) {
-		scr := s.scratch.Get().(*fem.Scratch)
-		kind := s.RM.Kinds[e]
-		nen := kind.NodesPerElem()
-		nodes := s.RM.ElemNodesLocal(e)
-		for i, ln := range nodes {
-			scr.Coords[i] = s.M.Coords[s.RM.GlobalNode[ln]]
-			scr.UConv[i] = mesh.Vec3{X: s.U[0][ln], Y: s.U[1][ln], Z: s.U[2][ln]}
-		}
-		s.SGS[e] = fem.SGSElement(kind, nen, s.Cfg.Props, scr)
-		s.scratch.Put(scr)
-	}
-	noop := &tasking.Scatter{AddMat: func(int32, int32, float64) {}, AddVec: func(int32, float64) {}}
-	return tasking.Assemble(s.Pool, s.sgsPlan, kernel, noop, noop)
+	return tasking.Assemble(s.Pool, s.sgsPlan, s.sgsKernel, s.noopScatter, s.noopScatter)
 }
 
 // VelocityAt returns the nodal velocity of a global node id owned or

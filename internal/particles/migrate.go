@@ -85,17 +85,18 @@ func Migrate(comm *simmpi.Comm, t *Tracker, peers []int, tagBase int) MigrationS
 	}
 
 	// Phase 2: evaluate neighbors' candidates, reply with claimable
-	// indices.
-	foreign := make(map[int][]Particle, len(sorted))
+	// indices. Candidates are read straight out of the leased transport
+	// buffer (released after the claim scan — no decode copy needed).
 	for _, p := range sorted {
-		ps := decodeParticles(comm.RecvFloat64s(p, tagBase+offCand))
-		foreign[p] = ps
+		rb := comm.RecvFloat64Buf(p, tagBase+offCand)
 		var claims []int32
-		for i := range ps {
-			if _, ok := t.Loc.Locate(ps[i].Pos, -1); ok {
+		for i := 0; i < len(rb.Data)/10; i++ {
+			pos := mesh.Vec3{X: rb.Data[i*10+1], Y: rb.Data[i*10+2], Z: rb.Data[i*10+3]}
+			if _, ok := t.Loc.Locate(pos, -1); ok {
 				claims = append(claims, int32(i))
 			}
 		}
+		rb.Release()
 		comm.SendInt32s(p, tagBase+offClaim, claims)
 	}
 
@@ -106,12 +107,13 @@ func Migrate(comm *simmpi.Comm, t *Tracker, peers []int, tagBase int) MigrationS
 		assignee[i] = -1
 	}
 	for _, p := range sorted {
-		claims := comm.RecvInt32s(p, tagBase+offClaim)
-		for _, idx := range claims {
+		rb := comm.RecvInt32Buf(p, tagBase+offClaim)
+		for _, idx := range rb.Data {
 			if assignee[idx] == -1 || p < assignee[idx] {
 				assignee[idx] = p
 			}
 		}
+		rb.Release()
 	}
 	// Phase 3b: send definitive transfers per peer; finalize unclaimed.
 	perPeer := make(map[int][]Particle, len(sorted))
@@ -132,9 +134,9 @@ func Migrate(comm *simmpi.Comm, t *Tracker, peers []int, tagBase int) MigrationS
 
 	// Phase 3c: adopt definitive transfers.
 	for _, p := range sorted {
-		ps := decodeParticles(comm.RecvFloat64s(p, tagBase+offXfer))
-		stats.Received += t.Absorb(ps)
-		_ = foreign
+		rb := comm.RecvFloat64Buf(p, tagBase+offXfer)
+		stats.Received += t.Absorb(decodeParticles(rb.Data))
+		rb.Release()
 	}
 	return stats
 }

@@ -61,6 +61,15 @@ type Tracker struct {
 	pool  *tasking.Pool
 	fates []uint8 // per-particle step outcome scratch (0=kept, 1=lost)
 
+	// Step-parameter slots read by stepBody, the population-sweep loop
+	// body built once in NewTracker: remaking the closure per Step (it
+	// captures the dt, the hoisted Newmark constants and the velocity
+	// field) would heap-allocate on every step of the hot loop.
+	stepDt   float64
+	stepPre  newmarkConsts
+	stepVel  func(node int32) mesh.Vec3
+	stepBody func(lo, hi int)
+
 	outletZ float64 // particles lost below this height exited, not deposited
 	nextID  int64
 }
@@ -75,6 +84,23 @@ func NewTracker(m *mesh.Mesh, elems []int32, species Props, fluid FluidProps) *T
 		Species: species,
 		Active:  &ParticleStore{},
 		outletZ: outletPlane(m),
+	}
+	t.stepBody = func(lo, hi int) {
+		s := t.Active
+		fates := t.fates
+		for i := lo; i < hi; i++ {
+			st := NewmarkState{Pos: s.Pos[i], Vel: s.Vel[i], Acc: s.Acc[i]}
+			uf := t.Loc.InterpolateIDW(int(s.Elem[i]), st.Pos, t.stepVel)
+			newmarkStepPre(&st, t.Fluid, t.Species, t.stepPre, uf, t.stepDt)
+			s.Pos[i], s.Vel[i], s.Acc[i] = st.Pos, st.Vel, st.Acc
+			if elem, ok := t.Loc.Locate(st.Pos, s.Elem[i]); ok {
+				s.Elem[i] = elem
+				fates[i] = 0
+			} else {
+				s.Elem[i] = -1
+				fates[i] = 1
+			}
+		}
 	}
 	return t
 }
@@ -180,28 +206,20 @@ func (t *Tracker) Step(dt float64, velField func(node int32) mesh.Vec3) {
 		t.fates = make([]uint8, n)
 	}
 	fates := t.fates[:n]
+	t.fates = fates
 
-	pre := newmarkConstsFor(t.Fluid, t.Species)
-	advance := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			st := NewmarkState{Pos: s.Pos[i], Vel: s.Vel[i], Acc: s.Acc[i]}
-			uf := t.Loc.InterpolateIDW(int(s.Elem[i]), st.Pos, velField)
-			newmarkStepPre(&st, t.Fluid, t.Species, pre, uf, dt)
-			s.Pos[i], s.Vel[i], s.Acc[i] = st.Pos, st.Vel, st.Acc
-			if elem, ok := t.Loc.Locate(st.Pos, s.Elem[i]); ok {
-				s.Elem[i] = elem
-				fates[i] = 0
-			} else {
-				s.Elem[i] = -1
-				fates[i] = 1
-			}
-		}
-	}
+	// Parameters flow to the prebuilt sweep body through the slots; the
+	// velocity-field reference is dropped afterwards so the caller's
+	// closure is not retained between steps.
+	t.stepDt = dt
+	t.stepPre = newmarkConstsFor(t.Fluid, t.Species)
+	t.stepVel = velField
 	if t.pool != nil && n > stepShardSize {
-		t.pool.ParallelFor(n, stepShardSize, advance)
+		t.pool.ParallelFor(n, stepShardSize, t.stepBody)
 	} else {
-		advance(0, n)
+		t.stepBody(0, n)
 	}
+	t.stepVel = nil
 	t.WorkUnits += int64(n)
 
 	// Deterministic merge: each shard recorded fates for its own disjoint

@@ -1,0 +1,201 @@
+// Persistent message buffers: the Go analogue of MPI persistent
+// requests (MPI_Send_init / MPI_Recv_init). A rank leases a typed
+// buffer from the world's freelist, fills it in place, and sends it;
+// ownership travels with the message, and the receiver releases the
+// buffer back to the freelist after reading it. In steady state — a
+// solver exchanging the same halos every iteration, the coupled fluid
+// code shipping velocities every step — the same backing arrays cycle
+// between the peers and no allocation happens at all, which is the
+// point: GC pressure from per-exchange buffer churn taxes every rank of
+// the node, exactly the shared-resource interference the paper's DLB
+// work fights.
+package simmpi
+
+import "sync"
+
+// Float64Buf is a leased []float64 transport buffer. Fill Data, send
+// with SendFloat64Buf (ownership moves to the receiver), or Release it
+// unsent. After Release or a send the lessee must not touch Data again.
+type Float64Buf struct {
+	Data []float64
+	w    *World
+}
+
+// Release returns the buffer to its world's freelist.
+func (b *Float64Buf) Release() {
+	b.w.bufs.putFloat(b)
+}
+
+// Int32Buf is a leased []int32 transport buffer (see Float64Buf).
+type Int32Buf struct {
+	Data []int32
+	w    *World
+}
+
+// Release returns the buffer to its world's freelist.
+func (b *Int32Buf) Release() {
+	b.w.bufs.putInt(b)
+}
+
+// bufPool is the world-level freelist of transport buffers. It is
+// shared by all ranks (buffers migrate from sender to receiver, so
+// per-rank lists would drain on one-way traffic patterns); the lock is
+// held only for a pop or push.
+type bufPool struct {
+	mu     sync.Mutex
+	floats []*Float64Buf
+	ints   []*Int32Buf
+}
+
+func (p *bufPool) getFloat(w *World, n int) *Float64Buf {
+	p.mu.Lock()
+	var b *Float64Buf
+	if k := len(p.floats); k > 0 {
+		b = p.floats[k-1]
+		p.floats[k-1] = nil
+		p.floats = p.floats[:k-1]
+	}
+	p.mu.Unlock()
+	if b == nil {
+		b = &Float64Buf{w: w}
+	}
+	if cap(b.Data) < n {
+		b.Data = make([]float64, n)
+	}
+	b.Data = b.Data[:n]
+	return b
+}
+
+func (p *bufPool) putFloat(b *Float64Buf) {
+	p.mu.Lock()
+	p.floats = append(p.floats, b)
+	p.mu.Unlock()
+}
+
+func (p *bufPool) getInt(w *World, n int) *Int32Buf {
+	p.mu.Lock()
+	var b *Int32Buf
+	if k := len(p.ints); k > 0 {
+		b = p.ints[k-1]
+		p.ints[k-1] = nil
+		p.ints = p.ints[:k-1]
+	}
+	p.mu.Unlock()
+	if b == nil {
+		b = &Int32Buf{w: w}
+	}
+	if cap(b.Data) < n {
+		b.Data = make([]int32, n)
+	}
+	b.Data = b.Data[:n]
+	return b
+}
+
+func (p *bufPool) putInt(b *Int32Buf) {
+	p.mu.Lock()
+	p.ints = append(p.ints, b)
+	p.mu.Unlock()
+}
+
+// LeaseFloat64s leases a length-n buffer from the world freelist.
+func (c *Comm) LeaseFloat64s(n int) *Float64Buf {
+	return c.world.bufs.getFloat(c.world, n)
+}
+
+// LeaseInt32s leases a length-n buffer from the world freelist.
+func (c *Comm) LeaseInt32s(n int) *Int32Buf {
+	return c.world.bufs.getInt(c.world, n)
+}
+
+// SendFloat64Buf sends a leased buffer to dst (comm rank) under tag.
+// Ownership transfers with the message: the receiver Releases (or
+// re-sends) it, and the sender must not touch it after the call.
+func (c *Comm) SendFloat64Buf(dst, tag int, b *Float64Buf) {
+	c.Send(dst, tag, b)
+}
+
+// SendInt32Buf sends a leased buffer (see SendFloat64Buf).
+func (c *Comm) SendInt32Buf(dst, tag int, b *Int32Buf) {
+	c.Send(dst, tag, b)
+}
+
+// RecvFloat64Buf receives a []float64-carrying message as a leased
+// buffer the caller must Release. Raw []float64 payloads (plain Send)
+// are copied into a leased buffer for uniformity.
+func (c *Comm) RecvFloat64Buf(src, tag int) *Float64Buf {
+	switch p := c.Recv(src, tag).(type) {
+	case *Float64Buf:
+		return p
+	case []float64:
+		b := c.LeaseFloat64s(len(p))
+		copy(b.Data, p)
+		return b
+	default:
+		panic("simmpi: RecvFloat64Buf on non-float64 payload")
+	}
+}
+
+// RecvInt32Buf receives a []int32-carrying message as a leased buffer
+// the caller must Release (see RecvFloat64Buf).
+func (c *Comm) RecvInt32Buf(src, tag int) *Int32Buf {
+	switch p := c.Recv(src, tag).(type) {
+	case *Int32Buf:
+		return p
+	case []int32:
+		b := c.LeaseInt32s(len(p))
+		copy(b.Data, p)
+		return b
+	default:
+		panic("simmpi: RecvInt32Buf on non-int32 payload")
+	}
+}
+
+// RecvFloat64sInto receives a []float64-carrying message into dst (grown
+// only if too small) and recycles the transport buffer; it returns dst
+// resliced to the message length. With an adequately sized dst the
+// receive allocates nothing.
+func (c *Comm) RecvFloat64sInto(src, tag int, dst []float64) []float64 {
+	switch p := c.Recv(src, tag).(type) {
+	case *Float64Buf:
+		if cap(dst) < len(p.Data) {
+			dst = make([]float64, len(p.Data))
+		}
+		dst = dst[:len(p.Data)]
+		copy(dst, p.Data)
+		p.Release()
+		return dst
+	case []float64:
+		if cap(dst) < len(p) {
+			dst = make([]float64, len(p))
+		}
+		dst = dst[:len(p)]
+		copy(dst, p)
+		return dst
+	default:
+		panic("simmpi: RecvFloat64sInto on non-float64 payload")
+	}
+}
+
+// RecvInt32sInto receives a []int32-carrying message into dst (see
+// RecvFloat64sInto).
+func (c *Comm) RecvInt32sInto(src, tag int, dst []int32) []int32 {
+	switch p := c.Recv(src, tag).(type) {
+	case *Int32Buf:
+		if cap(dst) < len(p.Data) {
+			dst = make([]int32, len(p.Data))
+		}
+		dst = dst[:len(p.Data)]
+		copy(dst, p.Data)
+		p.Release()
+		return dst
+	case []int32:
+		if cap(dst) < len(p) {
+			dst = make([]int32, len(p))
+		}
+		dst = dst[:len(p)]
+		copy(dst, p)
+		return dst
+	default:
+		panic("simmpi: RecvInt32sInto on non-int32 payload")
+	}
+}

@@ -39,6 +39,7 @@ type World struct {
 	hooks    BlockingHooks
 	inbox    []*mailbox // one per rank
 	worldCom *commShared
+	bufs     bufPool // freelist of leased transport buffers
 }
 
 // Option configures a World.
@@ -162,48 +163,87 @@ type message struct {
 	payload any
 }
 
+// msgQueue is one (source, tag) FIFO. Its buffer is a rewinding slice:
+// popped slots are zeroed and a drained queue rewinds to the front of
+// its backing array, so steady-state traffic reuses the same storage.
+type msgQueue struct {
+	buf  []message
+	head int
+}
+
 // mailbox holds pending messages per (source, tag) with FIFO order.
+// Solvers roll their tags forward every exchange, so keys are
+// short-lived: a drained key is deleted from the map and its queue
+// (with its grown backing array) recycled through the freelist —
+// leaving entries in place would grow the map without bound (the
+// retention leak the PR-2 pool fix addressed for task queues), and
+// remaking queues would allocate on every exchange.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[msgKey][]message
+	queues map[msgKey]*msgQueue
+	free   []*msgQueue // recycled empty queues
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{queues: make(map[msgKey][]message)}
+	mb := &mailbox{queues: make(map[msgKey]*msgQueue)}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
 func (mb *mailbox) put(key msgKey, m message) {
 	mb.mu.Lock()
-	mb.queues[key] = append(mb.queues[key], m)
+	q := mb.queues[key]
+	if q == nil {
+		if k := len(mb.free); k > 0 {
+			q = mb.free[k-1]
+			mb.free[k-1] = nil
+			mb.free = mb.free[:k-1]
+		} else {
+			q = &msgQueue{}
+		}
+		mb.queues[key] = q
+	}
+	q.buf = append(q.buf, m)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
+}
+
+// popLocked removes the head message of key's queue; the caller holds
+// mb.mu and has checked the queue is non-empty. A drained queue leaves
+// the map and returns to the freelist.
+func (mb *mailbox) popLocked(key msgKey, q *msgQueue) message {
+	m := q.buf[q.head]
+	q.buf[q.head] = message{} // do not pin the payload through the backing array
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+		delete(mb.queues, key)
+		mb.free = append(mb.free, q)
+	}
+	return m
 }
 
 func (mb *mailbox) take(key msgKey) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for len(mb.queues[key]) == 0 {
+	for {
+		if q := mb.queues[key]; q != nil {
+			return mb.popLocked(key, q)
+		}
 		mb.cond.Wait()
 	}
-	q := mb.queues[key]
-	m := q[0]
-	mb.queues[key] = q[1:]
-	return m
 }
 
 func (mb *mailbox) tryTake(key msgKey) (message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	if len(mb.queues[key]) == 0 {
+	q := mb.queues[key]
+	if q == nil {
 		return message{}, false
 	}
-	q := mb.queues[key]
-	m := q[0]
-	mb.queues[key] = q[1:]
-	return m, true
+	return mb.popLocked(key, q), true
 }
 
 func (w *World) blockEnter(rank int) {
@@ -261,18 +301,23 @@ func (c *Comm) Send(dst, tag int, payload any) {
 	c.world.inbox[g].put(msgKey{src: c.me, tag: tag}, message{payload: payload})
 }
 
-// SendFloat64s copies the slice and sends it.
+// SendFloat64s copies the slice into a leased transport buffer and sends
+// it: the sender may mutate data immediately after the call, and the
+// buffer recycles through the world freelist once received — no
+// steady-state allocation. To skip the copy entirely, fill a leased
+// buffer directly (LeaseFloat64s + SendFloat64Buf).
 func (c *Comm) SendFloat64s(dst, tag int, data []float64) {
-	cp := make([]float64, len(data))
-	copy(cp, data)
-	c.Send(dst, tag, cp)
+	b := c.LeaseFloat64s(len(data))
+	copy(b.Data, data)
+	c.Send(dst, tag, b)
 }
 
-// SendInt32s copies the slice and sends it.
+// SendInt32s copies the slice into a leased transport buffer and sends
+// it (see SendFloat64s).
 func (c *Comm) SendInt32s(dst, tag int, data []int32) {
-	cp := make([]int32, len(data))
-	copy(cp, data)
-	c.Send(dst, tag, cp)
+	b := c.LeaseInt32s(len(data))
+	copy(b.Data, data)
+	c.Send(dst, tag, b)
 }
 
 // Recv blocks until a message from src (comm rank) with tag arrives and
@@ -290,14 +335,16 @@ func (c *Comm) Recv(src, tag int) any {
 	return m.payload
 }
 
-// RecvFloat64s receives a []float64 payload.
+// RecvFloat64s receives a []float64 payload into a fresh slice; hot
+// paths should use RecvFloat64sInto or RecvFloat64Buf instead.
 func (c *Comm) RecvFloat64s(src, tag int) []float64 {
-	return c.Recv(src, tag).([]float64)
+	return c.RecvFloat64sInto(src, tag, nil)
 }
 
-// RecvInt32s receives a []int32 payload.
+// RecvInt32s receives a []int32 payload into a fresh slice; hot paths
+// should use RecvInt32sInto or RecvInt32Buf instead.
 func (c *Comm) RecvInt32s(src, tag int) []int32 {
-	return c.Recv(src, tag).([]int32)
+	return c.RecvInt32sInto(src, tag, nil)
 }
 
 // SendRecv sends to dst and receives from src (both comm ranks) under the
@@ -310,7 +357,12 @@ func (c *Comm) SendRecv(dst, tag int, payload any, src int) any {
 // --- collectives ---
 
 // collective implements generation-counted rendezvous for the collective
-// operations of one communicator.
+// operations of one communicator. Besides the generic any-typed slots it
+// carries typed slot arrays and result cells for the scalar and slice
+// operations the step loop issues every iteration: contributing through
+// them avoids the interface boxing (one heap allocation per call per
+// rank) the generic path pays, making steady-state allreduces
+// allocation-free.
 type collective struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -319,10 +371,23 @@ type collective struct {
 	arrived int
 	slots   []any
 	result  any
+
+	fslots []float64   // scalar float64 contributions
+	islots []int       // scalar int contributions
+	sslots [][]float64 // slice contributions (headers only; cleared after reduce)
+	resF   float64
+	resI   int
+	resBuf []float64 // reduced/gathered slice, copied out under the lock
 }
 
 func newCollective(n int) *collective {
-	c := &collective{n: n, slots: make([]any, n)}
+	c := &collective{
+		n:      n,
+		slots:  make([]any, n),
+		fslots: make([]float64, n),
+		islots: make([]int, n),
+		sslots: make([][]float64, n),
+	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -350,6 +415,176 @@ func (c *collective) rendezvous(idx int, contrib any, reduce func(slots []any) a
 	return res
 }
 
+// reduceF64 folds x into acc under op.
+func reduceF64(acc, x float64, op ReduceOp) float64 {
+	switch op {
+	case OpSum:
+		return acc + x
+	case OpMax:
+		if x > acc {
+			return x
+		}
+	case OpMin:
+		if x < acc {
+			return x
+		}
+	}
+	return acc
+}
+
+// reduceInt folds x into acc under op.
+func reduceInt(acc, x int, op ReduceOp) int {
+	switch op {
+	case OpSum:
+		return acc + x
+	case OpMax:
+		if x > acc {
+			return x
+		}
+	case OpMin:
+		if x < acc {
+			return x
+		}
+	}
+	return acc
+}
+
+// rendezvousF64 is the typed scalar-float64 rendezvous: contributions
+// and result stay unboxed, so a steady-state allreduce allocates
+// nothing. The fold walks slots in ascending rank order, exactly like
+// the generic path, so results are bit-identical.
+func (c *collective) rendezvousF64(idx int, v float64, op ReduceOp) float64 {
+	c.mu.Lock()
+	gen := c.gen
+	c.fslots[idx] = v
+	c.arrived++
+	if c.arrived == c.n {
+		acc := c.fslots[0]
+		for _, x := range c.fslots[1:] {
+			acc = reduceF64(acc, x, op)
+		}
+		c.resF = acc
+		c.arrived = 0
+		c.gen++
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return acc
+	}
+	for gen == c.gen {
+		c.cond.Wait()
+	}
+	res := c.resF
+	c.mu.Unlock()
+	return res
+}
+
+// rendezvousInt is the typed scalar-int rendezvous (see rendezvousF64).
+func (c *collective) rendezvousInt(idx int, v int, op ReduceOp) int {
+	c.mu.Lock()
+	gen := c.gen
+	c.islots[idx] = v
+	c.arrived++
+	if c.arrived == c.n {
+		acc := c.islots[0]
+		for _, x := range c.islots[1:] {
+			acc = reduceInt(acc, x, op)
+		}
+		c.resI = acc
+		c.arrived = 0
+		c.gen++
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return acc
+	}
+	for gen == c.gen {
+		c.cond.Wait()
+	}
+	res := c.resI
+	c.mu.Unlock()
+	return res
+}
+
+// copyOutLocked copies the collective result buffer into dst (grown only
+// if too small); the caller holds c.mu, which orders the copy against
+// the next generation's reduce.
+func (c *collective) copyOutLocked(dst []float64) []float64 {
+	if cap(dst) < len(c.resBuf) {
+		dst = make([]float64, len(c.resBuf))
+	}
+	dst = dst[:len(c.resBuf)]
+	copy(dst, c.resBuf)
+	return dst
+}
+
+// rendezvousSliceReduce combines the ranks' slices elementwise into dst.
+// Contributions are slice headers in a typed slot array (no boxing); the
+// last arriver reduces into the collective's persistent buffer and every
+// rank copies it out under the lock, so with pre-sized dst the call
+// allocates nothing. Contribution slots are cleared after the reduce so
+// caller vectors are not retained across steps.
+func (c *collective) rendezvousSliceReduce(idx int, v []float64, op ReduceOp, dst []float64) []float64 {
+	c.mu.Lock()
+	gen := c.gen
+	c.sslots[idx] = v
+	c.arrived++
+	if c.arrived == c.n {
+		first := c.sslots[0]
+		if cap(c.resBuf) < len(first) {
+			c.resBuf = make([]float64, len(first))
+		}
+		c.resBuf = c.resBuf[:len(first)]
+		copy(c.resBuf, first)
+		for _, x := range c.sslots[1:] {
+			for i := range c.resBuf {
+				c.resBuf[i] = reduceF64(c.resBuf[i], x[i], op)
+			}
+		}
+		for i := range c.sslots {
+			c.sslots[i] = nil
+		}
+		c.arrived = 0
+		c.gen++
+		dst = c.copyOutLocked(dst)
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return dst
+	}
+	for gen == c.gen {
+		c.cond.Wait()
+	}
+	dst = c.copyOutLocked(dst)
+	c.mu.Unlock()
+	return dst
+}
+
+// rendezvousGatherF64 gathers one float64 per rank into dst, indexed by
+// comm rank (see rendezvousSliceReduce for the allocation contract).
+func (c *collective) rendezvousGatherF64(idx int, v float64, dst []float64) []float64 {
+	c.mu.Lock()
+	gen := c.gen
+	c.fslots[idx] = v
+	c.arrived++
+	if c.arrived == c.n {
+		if cap(c.resBuf) < c.n {
+			c.resBuf = make([]float64, c.n)
+		}
+		c.resBuf = c.resBuf[:c.n]
+		copy(c.resBuf, c.fslots)
+		c.arrived = 0
+		c.gen++
+		dst = c.copyOutLocked(dst)
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return dst
+	}
+	for gen == c.gen {
+		c.cond.Wait()
+	}
+	dst = c.copyOutLocked(dst)
+	c.mu.Unlock()
+	return dst
+}
+
 // Barrier blocks until every rank of the communicator arrives.
 func (c *Comm) Barrier() {
 	c.world.blockEnter(c.me)
@@ -367,101 +602,56 @@ const (
 	OpMin
 )
 
-// AllreduceFloat64 combines one value from every rank.
+// AllreduceFloat64 combines one value from every rank. Contributions
+// travel through typed slots, so a steady-state call allocates nothing.
 func (c *Comm) AllreduceFloat64(v float64, op ReduceOp) float64 {
 	c.world.blockEnter(c.me)
-	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
-		acc := slots[0].(float64)
-		for _, s := range slots[1:] {
-			x := s.(float64)
-			switch op {
-			case OpSum:
-				acc += x
-			case OpMax:
-				if x > acc {
-					acc = x
-				}
-			case OpMin:
-				if x < acc {
-					acc = x
-				}
-			}
-		}
-		return acc
-	})
+	res := c.shared.coll.rendezvousF64(c.Rank(), v, op)
 	c.world.blockExit(c.me)
-	return res.(float64)
+	return res
 }
 
 // AllreduceFloat64s combines slices elementwise (all slices must share a
-// length); the result is a fresh slice.
+// length); the result is a fresh slice per rank. Hot paths should use
+// AllreduceFloat64sInto.
 func (c *Comm) AllreduceFloat64s(v []float64, op ReduceOp) []float64 {
-	c.world.blockEnter(c.me)
-	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
-		first := slots[0].([]float64)
-		acc := make([]float64, len(first))
-		copy(acc, first)
-		for _, s := range slots[1:] {
-			x := s.([]float64)
-			for i := range acc {
-				switch op {
-				case OpSum:
-					acc[i] += x[i]
-				case OpMax:
-					if x[i] > acc[i] {
-						acc[i] = x[i]
-					}
-				case OpMin:
-					if x[i] < acc[i] {
-						acc[i] = x[i]
-					}
-				}
-			}
-		}
-		return acc
-	})
-	c.world.blockExit(c.me)
-	return res.([]float64)
+	return c.AllreduceFloat64sInto(v, op, nil)
 }
 
-// AllreduceInt combines one int from every rank.
+// AllreduceFloat64sInto combines slices elementwise (all ranks must pass
+// the same length) into dst, which is grown only if too small and may
+// alias v; it returns dst resliced to the result length. With a
+// pre-sized dst the call allocates nothing.
+func (c *Comm) AllreduceFloat64sInto(v []float64, op ReduceOp, dst []float64) []float64 {
+	c.world.blockEnter(c.me)
+	dst = c.shared.coll.rendezvousSliceReduce(c.Rank(), v, op, dst)
+	c.world.blockExit(c.me)
+	return dst
+}
+
+// AllreduceInt combines one int from every rank through typed slots (no
+// steady-state allocation).
 func (c *Comm) AllreduceInt(v int, op ReduceOp) int {
 	c.world.blockEnter(c.me)
-	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
-		acc := slots[0].(int)
-		for _, s := range slots[1:] {
-			x := s.(int)
-			switch op {
-			case OpSum:
-				acc += x
-			case OpMax:
-				if x > acc {
-					acc = x
-				}
-			case OpMin:
-				if x < acc {
-					acc = x
-				}
-			}
-		}
-		return acc
-	})
+	res := c.shared.coll.rendezvousInt(c.Rank(), v, op)
 	c.world.blockExit(c.me)
-	return res.(int)
+	return res
 }
 
-// AllgatherFloat64 collects one value per rank, indexed by comm rank.
+// AllgatherFloat64 collects one value per rank, indexed by comm rank,
+// into a fresh slice per rank. Hot paths should use
+// AllgatherFloat64Into.
 func (c *Comm) AllgatherFloat64(v float64) []float64 {
+	return c.AllgatherFloat64Into(v, nil)
+}
+
+// AllgatherFloat64Into collects one value per rank into dst (grown only
+// if too small); with a pre-sized dst the call allocates nothing.
+func (c *Comm) AllgatherFloat64Into(v float64, dst []float64) []float64 {
 	c.world.blockEnter(c.me)
-	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
-		out := make([]float64, len(slots))
-		for i, s := range slots {
-			out[i] = s.(float64)
-		}
-		return out
-	})
+	dst = c.shared.coll.rendezvousGatherF64(c.Rank(), v, dst)
 	c.world.blockExit(c.me)
-	return res.([]float64)
+	return dst
 }
 
 // AllgatherInt32s collects one []int32 per rank, indexed by comm rank.

@@ -41,18 +41,20 @@ func TestPoolQueueSlotsReleased(t *testing.T) {
 	pool.mu.Lock()
 	defer pool.mu.Unlock()
 	for i, slot := range backing {
-		if slot != nil {
+		if slot.fn != nil {
 			t.Fatalf("backing slot %d still holds its task closure after pop", i)
 		}
 	}
 }
 
-// TestPoolQueueDropsBackingOnDrain checks that a drained queue does not
-// keep appending into the tail of an ever-growing backing array.
-func TestPoolQueueDropsBackingOnDrain(t *testing.T) {
+// TestPoolQueueRewindsBackingOnDrain checks that a drained queue rewinds
+// and reuses its backing array: capacity stays bounded by the burst size
+// across many rounds (no ever-growing tail), and every popped slot is nil
+// so the retained capacity pins nothing.
+func TestPoolQueueRewindsBackingOnDrain(t *testing.T) {
 	pool := NewPool(2)
 	defer pool.Close()
-	for round := 0; round < 4; round++ {
+	for round := 0; round < 8; round++ {
 		for i := 0; i < 32; i++ {
 			pool.Submit(func() {})
 		}
@@ -60,8 +62,36 @@ func TestPoolQueueDropsBackingOnDrain(t *testing.T) {
 	}
 	pool.mu.Lock()
 	defer pool.mu.Unlock()
-	if c := cap(pool.queue); c != 0 {
-		t.Fatalf("drained queue retains backing array of cap %d", c)
+	if c := cap(pool.queue); c > 64 {
+		t.Fatalf("drained queue backing grew to cap %d after 8 rounds of 32 submissions", c)
+	}
+	for i, slot := range pool.queue[:cap(pool.queue)] {
+		if slot.fn != nil {
+			t.Fatalf("drained queue retains a task closure in backing slot %d", i)
+		}
+	}
+}
+
+// TestParallelForZeroAllocSteadyState pins the zero-allocation contract
+// of the loop machinery: after warmup (loop states on the freelist, the
+// queue backing grown), a ParallelFor with a prebuilt body allocates
+// nothing — the property the solver kernels and the particle step rely
+// on for an allocation-free steady state.
+func TestParallelForZeroAllocSteadyState(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		pool := NewPool(workers)
+		var sink int64
+		body := func(lo, hi int) { atomic.AddInt64(&sink, int64(hi-lo)) }
+		for i := 0; i < 20; i++ { // warm the freelist and queue backing
+			pool.ParallelFor(4096, 64, body)
+		}
+		avg := testing.AllocsPerRun(50, func() {
+			pool.ParallelFor(4096, 64, body)
+		})
+		if avg != 0 {
+			t.Errorf("workers=%d: ParallelFor allocates %.2f objects per call in steady state, want 0", workers, avg)
+		}
+		pool.Close()
 	}
 }
 
