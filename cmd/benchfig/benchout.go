@@ -2,15 +2,16 @@
 // trajectory. `benchfig -benchout FILE` measures the allocation-heavy
 // legacy paths against their zero-allocation steady-state counterparts
 // (Krylov workspace solvers, leased halo buffers, typed collectives,
-// the sharded particle step) and writes ns/op + allocs/op as JSON —
-// the format the CI smoke step validates and BENCH_<pr>.json snapshots
-// accumulate.
+// the sharded particle step, and the fresh-vs-compiled multidep task
+// graph) and writes ns/op + allocs/op as JSON — the format the CI smoke
+// step validates and BENCH_<pr>.json snapshots accumulate.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/particles"
 	"repro/internal/simmpi"
+	"repro/internal/tasking"
 )
 
 // benchResult is one measured configuration.
@@ -260,15 +262,124 @@ func benchTrackerStep(results *[]benchResult) {
 	}))
 }
 
+// benchAssembly measures the matrix-assembly strategies on a synthetic
+// scattered-reduction workload (elements scattering into shared slots,
+// dense conflicts): the multidep fresh-graph path (task structs, boxed
+// dependence keys and map-backed edge construction rebuilt every step)
+// against the compiled task graph (built once, reset in place — the
+// steady-state zero-alloc path CI asserts), plus the other strategies
+// for the per-strategy comparison of the paper's Figure 4.
+func benchAssembly(results *[]benchResult) {
+	const (
+		nNodes = 600
+		nElems = 8000
+		nsub   = 32
+	)
+	rng := rand.New(rand.NewSource(7))
+	conn := make([][4]int32, nElems)
+	for e := range conn {
+		base := rng.Intn(nNodes)
+		for i := range conn[e] {
+			conn[e][i] = int32((base + rng.Intn(8)) % nNodes)
+		}
+	}
+	vec := make([]float64, nNodes)
+	plain := &tasking.Scatter{
+		AddVec: func(i int32, v float64) { vec[i] += v },
+		AddMat: func(int32, int32, float64) {},
+	}
+	av := tasking.NewAtomicFloat64Slice(nNodes)
+	atomicS := &tasking.Scatter{
+		AddVec: func(i int32, v float64) { av.Add(int(i), v) },
+		AddMat: func(int32, int32, float64) {},
+	}
+	kernel := func(e int, s *tasking.Scatter) {
+		for _, nd := range conn[e] {
+			s.AddVec(nd, float64(e%7)+0.5)
+		}
+	}
+
+	// Contiguous-block subdomains and their share-a-slot adjacency.
+	labels := make([]int32, nElems)
+	per := (nElems + nsub - 1) / nsub
+	for e := range labels {
+		labels[e] = int32(e / per)
+	}
+	slotSubs := make([]map[int32]bool, nNodes)
+	slotElems := make([][]int32, nNodes)
+	for e, c := range conn {
+		for _, nd := range c {
+			if slotSubs[nd] == nil {
+				slotSubs[nd] = map[int32]bool{}
+			}
+			slotSubs[nd][labels[e]] = true
+			slotElems[nd] = append(slotElems[nd], int32(e))
+		}
+	}
+	subLists := make([][]int32, nsub)
+	for _, subs := range slotSubs {
+		for a := range subs {
+			for b := range subs {
+				if a != b {
+					subLists[a] = append(subLists[a], b)
+				}
+			}
+		}
+	}
+	subAdj := graph.FromAdjacency(subLists)
+	elemLists := make([][]int32, nElems)
+	for _, elems := range slotElems {
+		for _, e := range elems {
+			for _, f := range elems {
+				if e != f {
+					elemLists[e] = append(elemLists[e], f)
+				}
+			}
+		}
+	}
+	conflicts := graph.FromAdjacency(elemLists)
+
+	pool := tasking.NewPool(4)
+	defer pool.Close()
+	iters := scaledIters(200)
+
+	freshPlan := tasking.NewMultidepPlan(labels, subAdj, tasking.KeyNeighbors)
+	*results = append(*results, measureLoop("assemble-multidep/fresh", 5, iters, func() {
+		if err := freshPlan.TaskGraph(kernel, plain).Run(pool); err != nil {
+			panic(err)
+		}
+	}))
+	compiledPlan := tasking.NewMultidepPlan(labels, subAdj, tasking.KeyNeighbors)
+	compiledPlan.Compile()
+	*results = append(*results, measureLoop("assemble-multidep/compiled", 5, iters, func() {
+		if err := tasking.Assemble(pool, compiledPlan, kernel, plain, nil); err != nil {
+			panic(err)
+		}
+	}))
+	atomicPlan := tasking.NewAtomicPlan(nElems)
+	*results = append(*results, measureLoop("assemble/atomic", 5, iters, func() {
+		if err := tasking.Assemble(pool, atomicPlan, kernel, nil, atomicS); err != nil {
+			panic(err)
+		}
+	}))
+	coloringPlan := tasking.NewColoringPlan(conflicts)
+	*results = append(*results, measureLoop("assemble/coloring", 5, iters, func() {
+		if err := tasking.Assemble(pool, coloringPlan, kernel, plain, nil); err != nil {
+			panic(err)
+		}
+	}))
+}
+
 // runBenchout executes the A/B suite and writes the JSON report to path
 // ('-' writes to stdout).
 func runBenchout(path string, stdout, stderr io.Writer) error {
 	var results []benchResult
-	fmt.Fprintln(stderr, "benchfig: running A/B benchmarks (krylov, halo, collective, tracker)...")
+	fmt.Fprintln(stderr, "benchfig: running A/B benchmarks (krylov, halo, collective, tracker, assembly)...")
 	benchKrylov(&results)
 	benchHalo(&results)
 	benchCollective(&results)
 	benchTrackerStep(&results)
+	benchAssembly(&results)
 	report := benchReport{Schema: benchSchema, GoMaxProcs: runtime.GOMAXPROCS(0), Benches: results}
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

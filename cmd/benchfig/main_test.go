@@ -251,18 +251,23 @@ func TestBenchoutWritesValidReport(t *testing.T) {
 	for _, name := range []string{
 		"pcg/alloc", "pcg/workspace", "bicgstab/alloc", "bicgstab/workspace",
 		"halo/fresh", "halo/persistent", "collective/allreduce-f64", "tracker/step",
+		"assemble-multidep/fresh", "assemble-multidep/compiled",
+		"assemble/atomic", "assemble/coloring",
 	} {
 		if _, ok := got[name]; !ok {
 			t.Errorf("bench %q missing from report", name)
 		}
 	}
-	for _, name := range []string{"pcg/workspace", "bicgstab/workspace", "tracker/step"} {
+	for _, name := range []string{"pcg/workspace", "bicgstab/workspace", "tracker/step", "assemble-multidep/compiled"} {
 		if r := got[name]; r.AllocsPerOp != 0 {
 			t.Errorf("%s allocates %.3f objects per op in steady state, want 0", name, r.AllocsPerOp)
 		}
 	}
 	if a, b := got["halo/fresh"], got["halo/persistent"]; a.AllocsPerOp <= b.AllocsPerOp {
 		t.Errorf("persistent halo (%.3f allocs/op) must beat fresh buffers (%.3f allocs/op)", b.AllocsPerOp, a.AllocsPerOp)
+	}
+	if a, b := got["assemble-multidep/fresh"], got["assemble-multidep/compiled"]; a.AllocsPerOp <= b.AllocsPerOp {
+		t.Errorf("compiled multidep assembly (%.3f allocs/op) must beat the fresh graph (%.3f allocs/op)", b.AllocsPerOp, a.AllocsPerOp)
 	}
 }
 

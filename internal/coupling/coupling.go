@@ -204,6 +204,21 @@ func buildPartition(m *mesh.Mesh, k int) ([]*partition.RankMesh, error) {
 	return partition.BuildRankMeshes(m, p.Parts, k)
 }
 
+// maxEventsPerStep bounds how many trace intervals one rank records per
+// time step: the fluid code's five phases plus the particle phase, each
+// possibly followed by an MPI alignment gap. Used to Reserve the trace
+// storage up front, which keeps the step loop's virtual-time accounting
+// allocation-free.
+const maxEventsPerStep = 16
+
+// reserveTrace pre-grows every rank timeline for a run of the given
+// step count.
+func reserveTrace(tr *trace.Trace, steps int) {
+	for _, rt := range tr.Ranks {
+		rt.Reserve(steps * maxEventsPerStep)
+	}
+}
+
 // haloPeers extracts the neighbor comm-ranks of a rank mesh.
 func haloPeers(rm *partition.RankMesh) []int {
 	peers := make([]int, 0, len(rm.Halos))
@@ -256,6 +271,7 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 	defer closePools(pools)
 
 	tr := trace.NewTrace(n)
+	reserveTrace(tr, cfg.Steps)
 	res := &RunResult{Trace: tr}
 	injected := make([]int, n)
 	deposited := make([]int, n)
@@ -383,6 +399,7 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 	defer closePools(pools)
 
 	tr := trace.NewTrace(total)
+	reserveTrace(tr, cfg.Steps)
 	res := &RunResult{Trace: tr}
 	injected := make([]int, total)
 	deposited := make([]int, total)

@@ -276,6 +276,14 @@ func NewSolver(m *mesh.Mesh, rm *partition.RankMesh, comm *simmpi.Comm, pool *ta
 	if err != nil {
 		return nil, err
 	}
+	// Freeze the strategies' reusable run structures now (for multidep,
+	// the compiled task graph). Assemble would compile lazily on first
+	// use; doing it here keeps even the first step allocation-free and
+	// makes the per-plan persistence explicit: the plans — and with them
+	// their compiled graphs and this solver's kernels/scatters below —
+	// live for the whole run.
+	s.plan.Compile()
+	s.sgsPlan.Compile()
 
 	// Constant pressure Laplacian with symmetric zero-Dirichlet rows.
 	s.assembleLaplacian()

@@ -1,9 +1,11 @@
 package particles
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/mesh"
+	"repro/internal/simmpi"
 	"repro/internal/tasking"
 )
 
@@ -55,5 +57,79 @@ func TestTrackerStepZeroAlloc(t *testing.T) {
 		if pool != nil {
 			pool.Close()
 		}
+	}
+}
+
+// TestMigrateZeroAllocForcedMigration pins the migrate-scratch reuse
+// under a forced heavy-migration workload: every round rank 0 loses the
+// same batch of particles, rank 1 claims and adopts them all, and rank 1
+// then truncates its population so the next round repeats identically.
+// After warm-up (scratch slices and transport buffers at their
+// high-water capacity) the whole three-phase protocol must allocate
+// nothing on either rank.
+func TestMigrateZeroAllocForcedMigration(t *testing.T) {
+	m := airway(t, 2)
+	w, err := simmpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 200
+	var allocs uint64
+	if err := w.Run(func(r *simmpi.Rank) {
+		// Both trackers cover the whole mesh, so rank 1 can claim every
+		// candidate rank 0 loses.
+		tr := NewTracker(m, nil, aerosol(), stillAir())
+		peers := []int{1 - r.ID()}
+		var snapshot []Particle
+		if r.ID() == 0 {
+			if n := tr.InjectAtInlet(batch+50, 3, mesh.Vec3{}); n < batch {
+				panic("not enough particles injected to force migration")
+			}
+			for i := 0; i < batch; i++ {
+				snapshot = append(snapshot, tr.Active.At(i))
+			}
+		}
+		active0 := tr.Active.Len()
+		round := func() {
+			if r.ID() == 0 {
+				// Force a heavy-migration step: the batch leaves rank 0.
+				tr.lost = append(tr.lost[:0], snapshot...)
+			}
+			stats := Migrate(r.Comm, tr, peers, 100)
+			if r.ID() == 0 && stats.SentOut != batch {
+				panic("forced migration batch not transferred")
+			}
+			if r.ID() == 1 {
+				if stats.Received != batch {
+					panic("peer did not adopt the forced batch")
+				}
+				// Reset the adopted population so capacity stays at the
+				// high-water mark instead of growing without bound.
+				tr.Active.Truncate(active0)
+			}
+		}
+		for i := 0; i < 15; i++ { // warm-up: scratch + store + buffers
+			round()
+		}
+		r.Comm.Barrier()
+		var m0, m1 runtime.MemStats
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&m0)
+		}
+		r.Comm.Barrier()
+		const rounds = 50
+		for i := 0; i < rounds; i++ {
+			round()
+		}
+		r.Comm.Barrier()
+		if r.ID() == 0 {
+			runtime.ReadMemStats(&m1)
+			allocs = m1.Mallocs - m0.Mallocs
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 2 {
+		t.Errorf("forced-migration steady state allocated %d objects over 50 rounds, want ~0", allocs)
 	}
 }

@@ -55,6 +55,32 @@ type MigrationStats struct {
 	Finalized int // particles nobody claimed (deposited or exited)
 }
 
+// migrateScratch is the per-tracker scratch Migrate threads through the
+// three-phase protocol. Every slice is reused across rounds (reset with
+// [:0] or overwritten in place), so steady-state migration — including
+// heavy-migration steps, once the high-water capacity is reached —
+// performs no heap allocation.
+type migrateScratch struct {
+	sorted    []int        // peers, ascending
+	encode    []float64    // candidate / transfer wire encoding
+	claims    []int32      // indices claimable from one neighbor
+	assignee  []int32      // per lost particle: sorted index of the lowest claiming rank, -1 none
+	perPeer   [][]Particle // definitive transfers, indexed like sorted
+	unclaimed []Particle
+}
+
+// reset prepares the scratch for a round with the given sorted peer
+// count, growing the per-peer transfer table once.
+func (ms *migrateScratch) reset(npeers int) {
+	for len(ms.perPeer) < npeers {
+		ms.perPeer = append(ms.perPeer, nil)
+	}
+	for i := range ms.perPeer {
+		ms.perPeer[i] = ms.perPeer[i][:0]
+	}
+	ms.unclaimed = ms.unclaimed[:0]
+}
+
 // Migrate exchanges lost particles with neighboring ranks using a
 // three-phase claim protocol that guarantees each particle is adopted by
 // exactly one rank (the lowest-ranked claimant) or finalized by its
@@ -67,6 +93,9 @@ type MigrationStats struct {
 //
 // All ranks owning a tracker must call Migrate collectively with
 // symmetric peer lists (comm ranks). tagBase reserves three tags.
+// Working storage comes from the tracker's migrate scratch and the
+// world's leased transport buffers, so repeated rounds allocate nothing
+// once warm.
 func Migrate(comm *simmpi.Comm, t *Tracker, peers []int, tagBase int) MigrationStats {
 	const (
 		offCand  = 0
@@ -74,68 +103,81 @@ func Migrate(comm *simmpi.Comm, t *Tracker, peers []int, tagBase int) MigrationS
 		offXfer  = 2
 	)
 	var stats MigrationStats
-	lost := t.TakeLost()
-	sorted := append([]int(nil), peers...)
-	sort.Ints(sorted)
+	ms := &t.mig
+	lost := t.lost
+	ms.sorted = append(ms.sorted[:0], peers...)
+	sort.Ints(ms.sorted)
+	ms.reset(len(ms.sorted))
 
 	// Phase 1: broadcast candidates (positions piggyback full state).
-	cand := encodeParticles(lost)
-	for _, p := range sorted {
-		comm.SendFloat64s(p, tagBase+offCand, cand)
+	// SendFloat64s copies into a leased transport buffer at the sender,
+	// so the scratch encoding is immediately reusable.
+	ms.encode = encodeParticlesInto(ms.encode[:0], lost)
+	for _, p := range ms.sorted {
+		comm.SendFloat64s(p, tagBase+offCand, ms.encode)
 	}
 
 	// Phase 2: evaluate neighbors' candidates, reply with claimable
 	// indices. Candidates are read straight out of the leased transport
 	// buffer (released after the claim scan — no decode copy needed).
-	for _, p := range sorted {
+	for _, p := range ms.sorted {
 		rb := comm.RecvFloat64Buf(p, tagBase+offCand)
-		var claims []int32
-		for i := 0; i < len(rb.Data)/10; i++ {
-			pos := mesh.Vec3{X: rb.Data[i*10+1], Y: rb.Data[i*10+2], Z: rb.Data[i*10+3]}
+		ms.claims = ms.claims[:0]
+		for i := 0; i < len(rb.Data)/particleWireLen; i++ {
+			d := rb.Data[i*particleWireLen:]
+			pos := mesh.Vec3{X: d[1], Y: d[2], Z: d[3]}
 			if _, ok := t.Loc.Locate(pos, -1); ok {
-				claims = append(claims, int32(i))
+				ms.claims = append(ms.claims, int32(i))
 			}
 		}
 		rb.Release()
-		comm.SendInt32s(p, tagBase+offClaim, claims)
+		comm.SendInt32s(p, tagBase+offClaim, ms.claims)
 	}
 
 	// Phase 3a: collect claims on our lost particles and assign each to
-	// the lowest-ranked claimant.
-	assignee := make([]int, len(lost))
-	for i := range assignee {
-		assignee[i] = -1
+	// the lowest-ranked claimant. ms.sorted is walked in ascending rank
+	// order, so the first claim on an index wins and the stored value
+	// can be the sorted position itself (Phase 3b's transfer-table key).
+	if cap(ms.assignee) < len(lost) {
+		ms.assignee = make([]int32, len(lost))
 	}
-	for _, p := range sorted {
+	ms.assignee = ms.assignee[:len(lost)]
+	for i := range ms.assignee {
+		ms.assignee[i] = -1
+	}
+	for pi, p := range ms.sorted {
 		rb := comm.RecvInt32Buf(p, tagBase+offClaim)
 		for _, idx := range rb.Data {
-			if assignee[idx] == -1 || p < assignee[idx] {
-				assignee[idx] = p
+			if ms.assignee[idx] == -1 {
+				ms.assignee[idx] = int32(pi)
 			}
 		}
 		rb.Release()
 	}
 	// Phase 3b: send definitive transfers per peer; finalize unclaimed.
-	perPeer := make(map[int][]Particle, len(sorted))
-	var unclaimed []Particle
 	for i, p := range lost {
-		if a := assignee[i]; a >= 0 {
-			perPeer[a] = append(perPeer[a], p)
+		if a := ms.assignee[i]; a >= 0 {
+			ms.perPeer[a] = append(ms.perPeer[a], p)
 			stats.SentOut++
 		} else {
-			unclaimed = append(unclaimed, p)
+			ms.unclaimed = append(ms.unclaimed, p)
 		}
 	}
-	for _, p := range sorted {
-		comm.SendFloat64s(p, tagBase+offXfer, encodeParticles(perPeer[p]))
+	for i, p := range ms.sorted {
+		ms.encode = encodeParticlesInto(ms.encode[:0], ms.perPeer[i])
+		comm.SendFloat64s(p, tagBase+offXfer, ms.encode)
 	}
-	t.Finalize(unclaimed)
-	stats.Finalized = len(unclaimed)
+	t.Finalize(ms.unclaimed)
+	stats.Finalized = len(ms.unclaimed)
+	// The lost list was fully dispatched (transferred or finalized);
+	// keep its backing for the next round.
+	t.lost = t.lost[:0]
 
-	// Phase 3c: adopt definitive transfers.
-	for _, p := range sorted {
+	// Phase 3c: adopt definitive transfers, decoding in place out of the
+	// leased buffer.
+	for _, p := range ms.sorted {
 		rb := comm.RecvFloat64Buf(p, tagBase+offXfer)
-		stats.Received += t.Absorb(decodeParticles(rb.Data))
+		stats.Received += t.absorbEncoded(rb.Data)
 		rb.Release()
 	}
 	return stats

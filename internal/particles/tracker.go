@@ -72,6 +72,11 @@ type Tracker struct {
 
 	outletZ float64 // particles lost below this height exited, not deposited
 	nextID  int64
+
+	// mig is the reusable working storage Migrate threads through its
+	// three-phase protocol (claim/candidate/transfer scratch), so
+	// heavy-migration steps stop churning the heap.
+	mig migrateScratch
 }
 
 // NewTracker builds a tracker over the given element subset of m
@@ -265,6 +270,23 @@ func (t *Tracker) Absorb(ps []Particle) int {
 	return adopted
 }
 
+// absorbEncoded is Absorb over the wire encoding, decoding each
+// particle straight out of the transport buffer — no intermediate
+// []Particle is materialized, so adoption allocates nothing beyond the
+// store's amortized growth.
+func (t *Tracker) absorbEncoded(data []float64) int {
+	adopted := 0
+	for i := 0; i+particleWireLen <= len(data); i += particleWireLen {
+		p := decodeParticle(data[i : i+particleWireLen])
+		if elem, ok := t.Loc.Locate(p.Pos, -1); ok {
+			p.Elem = elem
+			t.Active.Append(p)
+			adopted++
+		}
+	}
+	return adopted
+}
+
 // Finalize classifies particles nobody could adopt: below the outlet
 // plane they exited the bronchial tree, otherwise they deposited on the
 // airway wall.
@@ -289,36 +311,49 @@ func (t *Tracker) String() string {
 		t.Active.Len(), len(t.lost), t.DepositedCount, t.ExitedCount, t.WorkUnits)
 }
 
-// encodeParticles flattens particles for transport (10 float64 each:
-// id, pos, vel, acc).
+// particleWireLen is the transport encoding width of one particle:
+// id, pos, vel, acc as float64s.
+const particleWireLen = 10
+
+// encodeParticles flattens particles for transport.
 func encodeParticles(ps []Particle) []float64 {
-	out := make([]float64, 0, len(ps)*10)
+	return encodeParticlesInto(make([]float64, 0, len(ps)*particleWireLen), ps)
+}
+
+// encodeParticlesInto appends the wire encoding to dst (typically a
+// reusable scratch resliced to [:0]) and returns it.
+func encodeParticlesInto(dst []float64, ps []Particle) []float64 {
 	for _, p := range ps {
-		out = append(out,
+		dst = append(dst,
 			float64(p.ID),
 			p.Pos.X, p.Pos.Y, p.Pos.Z,
 			p.Vel.X, p.Vel.Y, p.Vel.Z,
 			p.Acc.X, p.Acc.Y, p.Acc.Z,
 		)
 	}
-	return out
+	return dst
+}
+
+// decodeParticle reads one particle from its wire slot (Elem unknown:
+// the adopter re-locates).
+func decodeParticle(d []float64) Particle {
+	return Particle{
+		ID: int64(d[0]),
+		NewmarkState: NewmarkState{
+			Pos: mesh.Vec3{X: d[1], Y: d[2], Z: d[3]},
+			Vel: mesh.Vec3{X: d[4], Y: d[5], Z: d[6]},
+			Acc: mesh.Vec3{X: d[7], Y: d[8], Z: d[9]},
+		},
+		Elem: -1,
+	}
 }
 
 // decodeParticles reverses encodeParticles.
 func decodeParticles(data []float64) []Particle {
-	n := len(data) / 10
+	n := len(data) / particleWireLen
 	out := make([]Particle, 0, n)
 	for i := 0; i < n; i++ {
-		d := data[i*10:]
-		out = append(out, Particle{
-			ID: int64(d[0]),
-			NewmarkState: NewmarkState{
-				Pos: mesh.Vec3{X: d[1], Y: d[2], Z: d[3]},
-				Vel: mesh.Vec3{X: d[4], Y: d[5], Z: d[6]},
-				Acc: mesh.Vec3{X: d[7], Y: d[8], Z: d[9]},
-			},
-			Elem: -1,
-		})
+		out = append(out, decodeParticle(data[i*particleWireLen:]))
 	}
 	return out
 }

@@ -37,6 +37,21 @@ func (b *Int32Buf) Release() {
 	b.w.bufs.putInt(b)
 }
 
+// Freelist bounds. A burst (a migration storm, a wide collective)
+// grows the freelist to its high-water mark; without bounds a
+// long-lived multi-scenario process retains that peak forever. The cap
+// rejects buffers beyond maxFree outright, and the idle trim frees the
+// buffers that sat unused for a whole trim window (the classic
+// low-water-mark policy: list entries below the window's minimum length
+// were never leased, so they are surplus).
+const (
+	// defaultMaxFree is the per-type cap on retained idle buffers.
+	defaultMaxFree = 256
+	// defaultTrimEvery is the lease/release operation count between
+	// idle trims.
+	defaultTrimEvery = 4096
+)
+
 // bufPool is the world-level freelist of transport buffers. It is
 // shared by all ranks (buffers migrate from sender to receiver, so
 // per-rank lists would drain on one-way traffic patterns); the lock is
@@ -45,6 +60,47 @@ type bufPool struct {
 	mu     sync.Mutex
 	floats []*Float64Buf
 	ints   []*Int32Buf
+
+	// maxFree / trimEvery are the bounds above; zero means default
+	// (they are per-world so tests can tighten them).
+	maxFree   int
+	trimEvery int
+	ops       int // lease/release ops since the last trim
+	floatLow  int // min len(floats) this window: idle surplus
+	intLow    int // min len(ints) this window
+}
+
+// maybeTrimLocked advances the trim clock and, once per window, frees
+// the idle surplus of both lists (p.mu held). Steady-state traffic
+// keeps the low-water marks at the level the traffic actually drains
+// to, so an active pattern loses nothing — only buffers untouched for
+// the whole window are dropped.
+func (p *bufPool) maybeTrimLocked() {
+	every := p.trimEvery
+	if every == 0 {
+		every = defaultTrimEvery
+	}
+	p.ops++
+	if p.ops < every {
+		return
+	}
+	p.ops = 0
+	if n := p.floatLow; n > 0 {
+		k := copy(p.floats, p.floats[n:])
+		for i := k; i < len(p.floats); i++ {
+			p.floats[i] = nil
+		}
+		p.floats = p.floats[:k]
+	}
+	if n := p.intLow; n > 0 {
+		k := copy(p.ints, p.ints[n:])
+		for i := k; i < len(p.ints); i++ {
+			p.ints[i] = nil
+		}
+		p.ints = p.ints[:k]
+	}
+	p.floatLow = len(p.floats)
+	p.intLow = len(p.ints)
 }
 
 func (p *bufPool) getFloat(w *World, n int) *Float64Buf {
@@ -54,7 +110,11 @@ func (p *bufPool) getFloat(w *World, n int) *Float64Buf {
 		b = p.floats[k-1]
 		p.floats[k-1] = nil
 		p.floats = p.floats[:k-1]
+		if k-1 < p.floatLow {
+			p.floatLow = k - 1
+		}
 	}
+	p.maybeTrimLocked()
 	p.mu.Unlock()
 	if b == nil {
 		b = &Float64Buf{w: w}
@@ -68,7 +128,14 @@ func (p *bufPool) getFloat(w *World, n int) *Float64Buf {
 
 func (p *bufPool) putFloat(b *Float64Buf) {
 	p.mu.Lock()
-	p.floats = append(p.floats, b)
+	max := p.maxFree
+	if max == 0 {
+		max = defaultMaxFree
+	}
+	if len(p.floats) < max {
+		p.floats = append(p.floats, b)
+	}
+	p.maybeTrimLocked()
 	p.mu.Unlock()
 }
 
@@ -79,7 +146,11 @@ func (p *bufPool) getInt(w *World, n int) *Int32Buf {
 		b = p.ints[k-1]
 		p.ints[k-1] = nil
 		p.ints = p.ints[:k-1]
+		if k-1 < p.intLow {
+			p.intLow = k - 1
+		}
 	}
+	p.maybeTrimLocked()
 	p.mu.Unlock()
 	if b == nil {
 		b = &Int32Buf{w: w}
@@ -93,7 +164,14 @@ func (p *bufPool) getInt(w *World, n int) *Int32Buf {
 
 func (p *bufPool) putInt(b *Int32Buf) {
 	p.mu.Lock()
-	p.ints = append(p.ints, b)
+	max := p.maxFree
+	if max == 0 {
+		max = defaultMaxFree
+	}
+	if len(p.ints) < max {
+		p.ints = append(p.ints, b)
+	}
+	p.maybeTrimLocked()
 	p.mu.Unlock()
 }
 

@@ -1,0 +1,100 @@
+package simmpi
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestBufferFreelistCap pins the per-world retention cap: releasing more
+// buffers than maxFree must drop the surplus instead of growing the
+// freelist to the burst's high-water mark.
+func TestBufferFreelistCap(t *testing.T) {
+	w, err := NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.bufs.maxFree = 4
+	if err := w.Run(func(r *Rank) {
+		var fbufs []*Float64Buf
+		var ibufs []*Int32Buf
+		for i := 0; i < 10; i++ {
+			fbufs = append(fbufs, r.Comm.LeaseFloat64s(8))
+			ibufs = append(ibufs, r.Comm.LeaseInt32s(8))
+		}
+		for i := range fbufs {
+			fbufs[i].Release()
+			ibufs[i].Release()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.bufs.mu.Lock()
+	defer w.bufs.mu.Unlock()
+	if got := len(w.bufs.floats); got != 4 {
+		t.Errorf("float freelist retained %d buffers with cap 4", got)
+	}
+	if got := len(w.bufs.ints); got != 4 {
+		t.Errorf("int freelist retained %d buffers with cap 4", got)
+	}
+}
+
+// TestBufferFreelistIdleTrim pins the low-water-mark trim: buffers that
+// sat unused for a whole trim window are freed, while the working set an
+// active traffic pattern actually drains to survives (so steady-state
+// traffic stays allocation-free).
+func TestBufferFreelistIdleTrim(t *testing.T) {
+	w, err := NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.bufs.trimEvery = 16
+	if err := w.Run(func(r *Rank) {
+		// Burst: 8 buffers in flight at once, then all released — the
+		// freelist sits at its high-water mark of 8.
+		var burst []*Float64Buf
+		for i := 0; i < 8; i++ {
+			burst = append(burst, r.Comm.LeaseFloat64s(16))
+		}
+		for _, b := range burst {
+			b.Release()
+		}
+		// Steady traffic touching one buffer at a time: the window's
+		// low-water mark is 7, so the 7 idle buffers are surplus.
+		for i := 0; i < 64; i++ {
+			b := r.Comm.LeaseFloat64s(16)
+			b.Release()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.bufs.mu.Lock()
+	retained := len(w.bufs.floats)
+	w.bufs.mu.Unlock()
+	if retained > 2 {
+		t.Errorf("idle trim left %d buffers on the freelist, want the active working set (~1)", retained)
+	}
+	if retained < 1 {
+		t.Errorf("idle trim dropped the active working set entirely (retained %d)", retained)
+	}
+
+	// The surviving working set keeps steady traffic allocation-free:
+	// single-buffer cycles after the trim must not allocate.
+	if err := w.Run(func(r *Rank) {
+		for i := 0; i < 4; i++ { // settle sizing
+			b := r.Comm.LeaseFloat64s(16)
+			b.Release()
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < 32; i++ {
+			b := r.Comm.LeaseFloat64s(16)
+			b.Release()
+		}
+		runtime.ReadMemStats(&m1)
+		if d := m1.Mallocs - m0.Mallocs; d > 2 {
+			panic("steady lease/release traffic allocates after idle trim")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -93,7 +93,35 @@ type AssemblyPlan struct {
 	NumSub    int
 	Keying    MutexKeying
 
+	// LargestFirst enables the compiled graph's static release
+	// priority: when several subdomain tasks become startable at once,
+	// the one with the most elements is released first, shortening the
+	// makespan tail. It changes the release order — and with it the
+	// accumulation order of conflicting scatters — so it is off by
+	// default (the golden contract: compilation reuses, never
+	// reassociates) and ablated in the benchmarks. Set it before the
+	// first Assemble/Compile; the compiled graph freezes the choice.
+	LargestFirst bool
+
 	subElems [][]int32 // elements per subdomain, ascending (locality)
+
+	// compiled is the frozen multidep task graph, built on first use and
+	// reused every step (the plan's geometry is static, so the graph is
+	// too). Kernel and scatter flow through the graph's argument slots.
+	compiled *CompiledGraph
+
+	// Prebuilt loop bodies for the ParallelFor-based strategies: one
+	// element-range body for Atomics, one per color for Coloring. Like
+	// the compiled graph's task bodies they read the argument slots
+	// below, so a steady-state Assemble submits only reused closures.
+	atomicBody  func(lo, hi int)
+	colorBodies []func(lo, hi int)
+
+	// Argument slots the prebuilt bodies read; filled by Assemble
+	// around the parallel section, never while one is in flight.
+	kernel        Kernel
+	plainScatter  *Scatter
+	atomicScatter *Scatter
 }
 
 // NewSerialPlan builds a plan for the serial reference.
@@ -142,6 +170,11 @@ func NewMultidepPlan(subLabels []int32, subAdj *graph.CSR, keying MutexKeying) *
 // strategy. plain must scatter without synchronization; atomicS must
 // scatter atomically (used only by StrategyAtomic). Both must accumulate
 // into the same underlying storage.
+//
+// Assemble routes kernel and scatters through the plan's compiled run
+// structures (built on first use, reused every step), so a plan may be
+// assembled by one goroutine at a time — the per-rank ownership every
+// caller in this codebase already has.
 func Assemble(pool *Pool, plan *AssemblyPlan, kernel Kernel, plain, atomicS *Scatter) error {
 	switch plan.Strategy {
 	case StrategySerial:
@@ -154,45 +187,156 @@ func Assemble(pool *Pool, plan *AssemblyPlan, kernel Kernel, plain, atomicS *Sca
 		if atomicS == nil {
 			return fmt.Errorf("tasking: StrategyAtomic requires an atomic scatter")
 		}
-		pool.ParallelFor(plan.NumElems, 0, func(lo, hi int) {
-			for e := lo; e < hi; e++ {
-				kernel(e, atomicS)
-			}
-		})
+		if plan.atomicBody == nil {
+			plan.buildAtomicBody()
+		}
+		plan.kernel, plan.atomicScatter = kernel, atomicS
+		pool.ParallelFor(plan.NumElems, 0, plan.atomicBody)
+		plan.kernel, plan.atomicScatter = nil, nil
 		return nil
 
 	case StrategyColoring:
 		if plan.Coloring == nil {
 			return fmt.Errorf("tasking: StrategyColoring requires a coloring")
 		}
-		for _, elems := range plan.Coloring.ByColor {
-			elems := elems
-			pool.ParallelFor(len(elems), 0, func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					kernel(int(elems[k]), plain)
-				}
-			})
+		if plan.colorBodies == nil {
+			plan.buildColorBodies()
 		}
+		plan.kernel, plan.plainScatter = kernel, plain
+		for c, elems := range plan.Coloring.ByColor {
+			pool.ParallelFor(len(elems), 0, plan.colorBodies[c])
+		}
+		plan.kernel, plan.plainScatter = nil, nil
 		return nil
 
 	case StrategyMultidep:
 		if plan.SubAdj == nil {
 			return fmt.Errorf("tasking: StrategyMultidep requires subdomain adjacency")
 		}
-		var tg TaskGraph
-		for s := 0; s < plan.NumSub; s++ {
-			s := s
-			deps := plan.mutexDeps(s)
-			elems := plan.subElems[s]
-			tg.Add(fmt.Sprintf("subdomain-%d", s), deps, func() {
-				for _, e := range elems {
-					kernel(int(e), plain)
-				}
-			})
-		}
-		return tg.Run(pool)
+		// The compiled graph is built once per plan and reused every
+		// step; the kernel and scatter reach the prebuilt task bodies
+		// through the graph's argument slots, so the steady-state
+		// assembly performs zero heap allocations — matching the other
+		// strategies (and the OmpSs runtime the paper measures, which
+		// does not rebuild its task metadata per time step).
+		cg := plan.Compiled()
+		cg.kernel, cg.plain = kernel, plain
+		err := cg.Run(pool)
+		cg.kernel, cg.plain = nil, nil
+		return err
 	}
 	return fmt.Errorf("tasking: unknown strategy %v", plan.Strategy)
+}
+
+// subdomainName formats multidep task names lazily: only the panic-error
+// path pays for the string.
+func subdomainName(i int) string { return fmt.Sprintf("subdomain-%d", i) }
+
+// TaskGraph builds the uncompiled task-graph front-end for a multidep
+// plan: one task per subdomain whose mutexinoutset dependences come from
+// the runtime iterator over the subdomain adjacency, capturing kernel
+// and scatter directly. Every call builds a fresh graph — this is the
+// allocating path that Compiled replaces in the step loop; it remains
+// the reference for the compiled-vs-fresh equivalence tests and A/B
+// benchmarks.
+func (plan *AssemblyPlan) TaskGraph(kernel Kernel, plain *Scatter) *TaskGraph {
+	tg := &TaskGraph{NameFn: subdomainName}
+	for s := 0; s < plan.NumSub; s++ {
+		elems := plan.subElems[s]
+		tg.Add("", plan.mutexDeps(s), func() {
+			for _, e := range elems {
+				kernel(int(e), plain)
+			}
+		})
+	}
+	return tg
+}
+
+// Compiled returns the plan's compiled multidep task graph, building it
+// on first use. Only meaningful for StrategyMultidep plans.
+func (plan *AssemblyPlan) Compiled() *CompiledGraph {
+	if plan.compiled == nil {
+		plan.compiled = plan.newCompiled()
+	}
+	return plan.compiled
+}
+
+// Compile eagerly builds the strategy's reusable run structures: the
+// compiled task graph for Multidep, the prebuilt loop bodies for
+// Atomics and Coloring. Assemble compiles lazily on first use, so
+// calling Compile is optional — it just moves the one-time cost out of
+// the first step.
+func (plan *AssemblyPlan) Compile() {
+	switch plan.Strategy {
+	case StrategyMultidep:
+		if plan.SubAdj != nil {
+			plan.Compiled()
+		}
+	case StrategyAtomic:
+		if plan.atomicBody == nil {
+			plan.buildAtomicBody()
+		}
+	case StrategyColoring:
+		if plan.Coloring != nil && plan.colorBodies == nil {
+			plan.buildColorBodies()
+		}
+	}
+}
+
+// buildAtomicBody prebuilds the Atomics element-range body; kernel and
+// scatter flow through the plan's slots.
+func (plan *AssemblyPlan) buildAtomicBody() {
+	plan.atomicBody = func(lo, hi int) {
+		k, sc := plan.kernel, plan.atomicScatter
+		for e := lo; e < hi; e++ {
+			k(e, sc)
+		}
+	}
+}
+
+// buildColorBodies prebuilds one element-range body per color.
+func (plan *AssemblyPlan) buildColorBodies() {
+	plan.colorBodies = make([]func(lo, hi int), len(plan.Coloring.ByColor))
+	for c, elems := range plan.Coloring.ByColor {
+		elems := elems
+		plan.colorBodies[c] = func(lo, hi int) {
+			k, sc := plan.kernel, plan.plainScatter
+			for i := lo; i < hi; i++ {
+				k(int(elems[i]), sc)
+			}
+		}
+	}
+}
+
+// newCompiled compiles the plan's task graph with slot-reading bodies
+// and the static largest-subdomain-first release priority.
+func (plan *AssemblyPlan) newCompiled() *CompiledGraph {
+	cg := &CompiledGraph{}
+	tg := TaskGraph{NameFn: subdomainName}
+	for s := 0; s < plan.NumSub; s++ {
+		elems := plan.subElems[s]
+		// The body reads the kernel/scatter slots Assemble fills around
+		// Run, so one compiled closure serves every step.
+		tg.Add("", plan.mutexDeps(s), func() {
+			k, sc := cg.kernel, cg.plain
+			for _, e := range elems {
+				k(int(e), sc)
+			}
+		})
+	}
+	tg.compileInto(cg)
+	if plan.LargestFirst {
+		// Static priority: release larger subdomains first. Priorities
+		// only change which startable task acquires its keys first —
+		// never whether two conflicting tasks may overlap — so
+		// exclusion semantics are unaffected. Ties keep ascending
+		// subdomain order, so the order is deterministic.
+		cg.priority = true
+		sort.SliceStable(cg.order, func(a, b int) bool {
+			return len(plan.subElems[cg.order[a]]) > len(plan.subElems[cg.order[b]])
+		})
+	}
+	return cg
 }
 
 // mutexDeps builds the mutexinoutset dependence list for subdomain task s

@@ -1,0 +1,273 @@
+package tasking
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CompiledGraph is the frozen, reusable form of a task graph. Where
+// TaskGraph is the flexible allocating front-end (any-keyed dependences,
+// per-Run edge construction, per-task launch closures), a CompiledGraph
+// precomputes everything that does not change between runs:
+//
+//   - the ordering edges as one CSR (succPtr/succ) plus the base
+//     predecessor counts,
+//   - the mutexinoutset key sets as dense int32 indices into a flat busy
+//     array — no any boxing, no map[any] probed per run,
+//   - one prebuilt submit closure per task (captured once at compile
+//     time), and
+//   - the whole run state (pred counters, blocked list, done latch),
+//     which Reset()s in place instead of reallocating.
+//
+// A steady-state Run therefore performs zero heap allocations: the OmpSs
+// runtime the paper's multidependences strategy relies on keeps its task
+// metadata out of the per-step path, and this is the Go analogue.
+//
+// A CompiledGraph is built by TaskGraph.Compile or (for assembly plans)
+// lazily inside Assemble. It may be Run any number of times, but runs
+// must not overlap: one graph models one rank's phase, executed once per
+// time step.
+type CompiledGraph struct {
+	n int
+
+	// Static structure, immutable after compile.
+	succPtr   []int32  // ordering-successor CSR offsets (len n+1)
+	succ      []int32  // concatenated ordering successors
+	basePreds []int32  // predecessor counts the run state resets from
+	mutexPtr  []int32  // mutex-key CSR offsets (len n+1)
+	mutexKey  []int32  // dense key indices into busy
+	order     []int32  // initial blocked-set order (priority when enabled)
+	priority  bool     // stable priority scan instead of the legacy scan
+	submits   []func() // prebuilt pool.Submit closures, one per task
+	bodies    []func()
+	nameOf    func(i int) string // lazy task names (panic path only)
+
+	// Argument slots for assembly bodies: Assemble stores the kernel and
+	// scatter here around Run so the prebuilt bodies read them without a
+	// per-step closure. Written only while no run is in flight.
+	kernel Kernel
+	plain  *Scatter
+
+	// Reusable run state, reset at the top of every Run.
+	mu        sync.Mutex
+	done      sync.Cond // caller waits here for the last task
+	pool      *Pool
+	preds     []int32 // remaining ordering predecessors per task
+	busy      []int32 // dense key -> running holder+1, 0 free
+	blocked   []int32 // not-yet-started tasks, kept in priority order
+	doneCount int
+	firstErr  error
+	running   bool
+}
+
+// Compile freezes the graph into its reusable compiled form. The
+// receiver must not have been Run (Run consumes the front-end's edge
+// state); after Compile it should be discarded — the compiled graph
+// holds everything, including the task bodies.
+func (tg *TaskGraph) Compile() *CompiledGraph {
+	cg := &CompiledGraph{}
+	tg.compileInto(cg)
+	return cg
+}
+
+// compileInto populates cg from the front-end graph. Split from Compile
+// so assembly-plan compilation can allocate the CompiledGraph first and
+// build bodies that capture it (reading the kernel/scatter slots).
+func (tg *TaskGraph) compileInto(cg *CompiledGraph) {
+	tg.buildEdges()
+	n := len(tg.tasks)
+	cg.n = n
+	cg.done.L = &cg.mu
+
+	// Ordering edges -> CSR; base predecessor counts.
+	cg.succPtr = make([]int32, n+1)
+	for i, t := range tg.tasks {
+		cg.succPtr[i+1] = cg.succPtr[i] + int32(len(t.succs))
+	}
+	cg.succ = make([]int32, cg.succPtr[n])
+	cg.basePreds = make([]int32, n)
+	for i, t := range tg.tasks {
+		copy(cg.succ[cg.succPtr[i]:cg.succPtr[i+1]], t.succs)
+		cg.basePreds[i] = int32(t.preds)
+	}
+
+	// Mutex keys -> dense indices. The map is a compile-time cost only;
+	// at run time a key is an index into the flat busy array.
+	cg.mutexPtr = make([]int32, n+1)
+	for i, t := range tg.tasks {
+		cg.mutexPtr[i+1] = cg.mutexPtr[i] + int32(len(t.mutexKeys))
+	}
+	cg.mutexKey = make([]int32, cg.mutexPtr[n])
+	keyIndex := make(map[any]int32)
+	k := 0
+	for _, t := range tg.tasks {
+		for _, key := range t.mutexKeys {
+			idx, ok := keyIndex[key]
+			if !ok {
+				idx = int32(len(keyIndex))
+				keyIndex[key] = idx
+			}
+			cg.mutexKey[k] = idx
+			k++
+		}
+	}
+	cg.busy = make([]int32, len(keyIndex))
+
+	// Default release order is submission order; assembly compilation
+	// overrides it with largest-task-first (see AssemblyPlan).
+	cg.order = make([]int32, n)
+	for i := range cg.order {
+		cg.order[i] = int32(i)
+	}
+
+	cg.preds = make([]int32, n)
+	cg.blocked = make([]int32, 0, n)
+	cg.bodies = make([]func(), n)
+	names := make([]string, n)
+	for i, t := range tg.tasks {
+		cg.bodies[i] = t.fn
+		names[i] = t.name
+	}
+	nameFn := tg.NameFn
+	cg.nameOf = func(i int) string {
+		if names[i] != "" {
+			return names[i]
+		}
+		if nameFn != nil {
+			return nameFn(i)
+		}
+		return fmt.Sprintf("task-%d", i)
+	}
+	cg.submits = make([]func(), n)
+	for i := range cg.submits {
+		id := int32(i)
+		cg.submits[i] = func() { cg.runTask(id) }
+	}
+}
+
+// Len reports the number of compiled tasks.
+func (cg *CompiledGraph) Len() int { return cg.n }
+
+// Run executes the compiled graph on pool and blocks until every task
+// completed, respecting the same ordering and mutual-exclusion semantics
+// as TaskGraph.Run. The run state is reset in place, so a steady-state
+// Run allocates nothing. Runs must not overlap; a second Run entered
+// while one is in flight panics.
+func (cg *CompiledGraph) Run(pool *Pool) error {
+	if cg.n == 0 {
+		return nil
+	}
+	cg.mu.Lock()
+	if cg.running {
+		cg.mu.Unlock()
+		panic("tasking: CompiledGraph.Run while a run is in flight")
+	}
+	cg.running = true
+	cg.pool = pool
+	copy(cg.preds, cg.basePreds)
+	for i := range cg.busy {
+		cg.busy[i] = 0
+	}
+	cg.doneCount = 0
+	cg.firstErr = nil
+	cg.blocked = append(cg.blocked[:0], cg.order...)
+	cg.tryStart()
+	for cg.doneCount != cg.n {
+		cg.done.Wait()
+	}
+	err := cg.firstErr
+	cg.running = false
+	cg.pool = nil
+	cg.mu.Unlock()
+	return err
+}
+
+// canAcquire reports whether every mutex key of task t is free (mu held).
+func (cg *CompiledGraph) canAcquire(t int32) bool {
+	for _, k := range cg.mutexKey[cg.mutexPtr[t]:cg.mutexPtr[t+1]] {
+		if cg.busy[k] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tryStart launches every startable blocked task (mu held).
+//
+// Without priorities it replicates TaskGraph.Run's scan exactly —
+// forward walk with swap-remove — so a compiled graph makes the same
+// release decisions in the same order as the uncompiled front-end: on a
+// one-worker pool (where the submission order is the execution order)
+// compiled and fresh runs are bit-identical, which is what keeps the
+// golden suite unchanged.
+//
+// With the static priority enabled the blocked list is instead kept in
+// priority order and compacted stably: when several tasks become
+// startable at once, the largest is submitted — and acquires its keys —
+// first. That changes the release order, and with it the accumulation
+// order of conflicting scatters, so it is an opt-in whose makespan
+// effect is measured in the benchmarks rather than a silent default.
+func (cg *CompiledGraph) tryStart() {
+	if cg.priority {
+		w := 0
+		for _, t := range cg.blocked {
+			if cg.preds[t] == 0 && cg.canAcquire(t) {
+				cg.acquire(t)
+				cg.pool.Submit(cg.submits[t])
+			} else {
+				cg.blocked[w] = t
+				w++
+			}
+		}
+		cg.blocked = cg.blocked[:w]
+		return
+	}
+	for i := 0; i < len(cg.blocked); {
+		t := cg.blocked[i]
+		if cg.preds[t] == 0 && cg.canAcquire(t) {
+			cg.acquire(t)
+			cg.blocked[i] = cg.blocked[len(cg.blocked)-1]
+			cg.blocked = cg.blocked[:len(cg.blocked)-1]
+			cg.pool.Submit(cg.submits[t])
+			continue
+		}
+		i++
+	}
+}
+
+// acquire marks every mutex key of task t busy (mu held).
+func (cg *CompiledGraph) acquire(t int32) {
+	for _, k := range cg.mutexKey[cg.mutexPtr[t]:cg.mutexPtr[t+1]] {
+		cg.busy[k] = t + 1
+	}
+}
+
+// runTask is the body of the prebuilt submit closure for task id.
+func (cg *CompiledGraph) runTask(id int32) {
+	panicked := true
+	defer func() {
+		if panicked {
+			r := recover()
+			cg.mu.Lock()
+			if cg.firstErr == nil {
+				cg.firstErr = fmt.Errorf("tasking: task %q panicked: %v", cg.nameOf(int(id)), r)
+			}
+			cg.mu.Unlock()
+		}
+		cg.mu.Lock()
+		for _, k := range cg.mutexKey[cg.mutexPtr[id]:cg.mutexPtr[id+1]] {
+			cg.busy[k] = 0
+		}
+		for _, s := range cg.succ[cg.succPtr[id]:cg.succPtr[id+1]] {
+			cg.preds[s]--
+		}
+		cg.doneCount++
+		cg.tryStart()
+		if cg.doneCount == cg.n {
+			cg.done.Broadcast()
+		}
+		cg.mu.Unlock()
+	}()
+	cg.bodies[id]()
+	panicked = false
+}

@@ -1,0 +1,337 @@
+package tasking
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// --- CompiledGraph semantics: ordering, exclusion, reuse ---
+
+// orderedGraph builds the w1 -> {r1, r2} -> w2 dependence chain used by
+// the front-end ordering test.
+func orderedGraph(record func(name string) func()) *TaskGraph {
+	var tg TaskGraph
+	tg.Add("w1", []Dep{{Out, "x"}}, record("w1"))
+	tg.Add("r1", []Dep{{In, "x"}}, record("r1"))
+	tg.Add("r2", []Dep{{In, "x"}}, record("r2"))
+	tg.Add("w2", []Dep{{Inout, "x"}}, record("w2"))
+	return &tg
+}
+
+func TestCompiledGraphOrderingAcrossRuns(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	}
+	cg := orderedGraph(record).Compile()
+	for run := 0; run < 5; run++ { // the same graph, Run repeatedly
+		order = order[:0]
+		if err := cg.Run(pool); err != nil {
+			t.Fatal(err)
+		}
+		pos := map[string]int{}
+		for i, n := range order {
+			pos[n] = i
+		}
+		if !(pos["w1"] < pos["r1"] && pos["w1"] < pos["r2"] && pos["r1"] < pos["w2"] && pos["r2"] < pos["w2"]) {
+			t.Fatalf("run %d: dependence order violated: %v", run, order)
+		}
+	}
+}
+
+func TestCompiledGraphMutexExclusionAcrossRuns(t *testing.T) {
+	pool := NewPool(8)
+	defer pool.Close()
+	var tg TaskGraph
+	var inside, violations int32
+	for i := 0; i < 20; i++ {
+		tg.Add("m", []Dep{{Mutexinoutset, "k"}}, func() {
+			if atomic.AddInt32(&inside, 1) > 1 {
+				atomic.AddInt32(&violations, 1)
+			}
+			time.Sleep(50 * time.Microsecond)
+			atomic.AddInt32(&inside, -1)
+		})
+	}
+	cg := tg.Compile()
+	for run := 0; run < 3; run++ {
+		if err := cg.Run(pool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if violations != 0 {
+		t.Fatalf("%d mutual-exclusion violations across compiled runs", violations)
+	}
+}
+
+func TestCompiledGraphPanicNamesAndRecovery(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	var tg TaskGraph
+	boom := true
+	tg.Add("", []Dep{{Mutexinoutset, 0}}, func() {
+		if boom {
+			panic("kaboom")
+		}
+	})
+	tg.Add("steady", nil, func() {})
+	tg.NameFn = func(i int) string { return "lazy-task" }
+	cg := tg.Compile()
+	err := cg.Run(pool)
+	if err == nil {
+		t.Fatal("want error from panicking compiled task")
+	}
+	if !strings.Contains(err.Error(), "lazy-task") {
+		t.Fatalf("panic error %q does not carry the lazily formatted name", err)
+	}
+	// The graph must be reusable after a failed run: state resets, the
+	// panicking task's mutex key was released.
+	boom = false
+	if err := cg.Run(pool); err != nil {
+		t.Fatalf("compiled graph not reusable after a panicked run: %v", err)
+	}
+}
+
+func TestCompiledGraphEmpty(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	var tg TaskGraph
+	cg := tg.Compile()
+	if cg.Len() != 0 {
+		t.Fatal("empty graph has tasks")
+	}
+	if err := cg.Run(pool); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskGraphSingleUseGuard(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	var tg TaskGraph
+	tg.Add("once", nil, func() {})
+	if err := tg.Run(pool); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-running a consumed TaskGraph must panic (compile it instead)")
+		}
+	}()
+	_ = tg.Run(pool)
+}
+
+// --- compiled vs fresh equivalence on the assembly plan ---
+
+// runFresh executes the plan through the uncompiled front-end.
+func runFresh(t *testing.T, pool *Pool, plan *AssemblyPlan, kernel Kernel, plain *Scatter) {
+	t.Helper()
+	if err := plan.TaskGraph(kernel, plain).Run(pool); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompiledMatchesFreshBitIdentical pins the reuse-not-reassociate
+// contract: the compiled multidep path must produce bit-identical
+// results to the fresh task-graph front-end for both keyings at any
+// worker count (the synthetic workload's contributions are exactly
+// representable, so sums are order-independent and the comparison is
+// exact), and repeated compiled runs must keep reproducing them.
+func TestCompiledMatchesFreshBitIdentical(t *testing.T) {
+	w := newSynthWorkload(300, 2000, 11)
+	for _, keying := range []MutexKeying{KeyNeighbors, KeyEdges} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			pool := NewPool(workers)
+			subLabels, subAdj := w.blockSubdomains(16)
+
+			fresh := make([]float64, w.nNodes)
+			freshScatter := &Scatter{AddVec: func(i int32, v float64) { fresh[i] += v }, AddMat: func(int32, int32, float64) {}}
+			planFresh := NewMultidepPlan(subLabels, subAdj, keying)
+			runFresh(t, pool, planFresh, w.kernel(), freshScatter)
+
+			compiled := make([]float64, w.nNodes)
+			compScatter := &Scatter{AddVec: func(i int32, v float64) { compiled[i] += v }, AddMat: func(int32, int32, float64) {}}
+			plan := NewMultidepPlan(subLabels, subAdj, keying)
+			for run := 0; run < 3; run++ { // reuse: same compiled graph every run
+				for i := range compiled {
+					compiled[i] = 0
+				}
+				if err := Assemble(pool, plan, w.kernel(), compScatter, nil); err != nil {
+					t.Fatal(err)
+				}
+				for i := range fresh {
+					if math.Float64bits(compiled[i]) != math.Float64bits(fresh[i]) {
+						t.Fatalf("keying=%v workers=%d run=%d: slot %d compiled %g != fresh %g",
+							keying, workers, run, i, compiled[i], fresh[i])
+					}
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// guardedScatter is the concurrent-exclusion checker from
+// TestAssemblyMultidepExclusion: every slot is guarded, so two
+// conflicting elements executing concurrently are caught.
+func guardedScatter(nNodes int, vec []float64, violations *int32) *Scatter {
+	guards := make([]int32, nNodes)
+	return &Scatter{
+		AddVec: func(i int32, v float64) {
+			if atomic.AddInt32(&guards[i], 1) > 1 {
+				atomic.AddInt32(violations, 1)
+			}
+			vec[i] += v
+			for s := 0; s < 50; s++ { // widen the race window
+				_ = s * s
+			}
+			atomic.AddInt32(&guards[i], -1)
+		},
+		AddMat: func(int32, int32, float64) {},
+	}
+}
+
+// TestCompiledMultidepExclusion reruns the exclusion checker on the
+// compiled path — with and without the largest-first release priority,
+// under both keyings — across repeated runs of the same compiled graph.
+func TestCompiledMultidepExclusion(t *testing.T) {
+	w := newSynthWorkload(100, 1000, 9)
+	want := w.serialResult()
+	for _, keying := range []MutexKeying{KeyNeighbors, KeyEdges} {
+		for _, largestFirst := range []bool{false, true} {
+			subLabels, subAdj := w.blockSubdomains(12)
+			plan := NewMultidepPlan(subLabels, subAdj, keying)
+			plan.LargestFirst = largestFirst
+			pool := NewPool(8)
+			var violations int32
+			vec := make([]float64, w.nNodes)
+			plain := guardedScatter(w.nNodes, vec, &violations)
+			for run := 0; run < 3; run++ {
+				for i := range vec {
+					vec[i] = 0
+				}
+				if err := Assemble(pool, plan, w.kernel(), plain, nil); err != nil {
+					t.Fatal(err)
+				}
+				if violations != 0 {
+					t.Fatalf("keying=%v largestFirst=%v run=%d: %d concurrent conflicting updates",
+						keying, largestFirst, run, violations)
+				}
+				checkClose(t, vec, want, "compiled-guarded")
+			}
+			pool.Close()
+		}
+	}
+}
+
+// --- the zero-allocation contract ---
+
+// TestAssembleZeroAllocAllStrategies pins the acceptance criterion of
+// the compiled task-graph layer: after warm-up, Assemble performs zero
+// heap allocations per step under every strategy — multidep included,
+// which used to rebuild its whole task graph each call.
+func TestAssembleZeroAllocAllStrategies(t *testing.T) {
+	w := newSynthWorkload(300, 2000, 5)
+	vec := make([]float64, w.nNodes)
+	plain := &Scatter{AddVec: func(i int32, v float64) { vec[i] += v }, AddMat: func(int32, int32, float64) {}}
+	av := NewAtomicFloat64Slice(w.nNodes)
+	atomicS := &Scatter{AddVec: func(i int32, v float64) { av.Add(int(i), v) }, AddMat: func(int32, int32, float64) {}}
+	kernel := w.kernel()
+
+	plans := map[string]*AssemblyPlan{
+		"serial":   NewSerialPlan(w.nElems),
+		"atomic":   NewAtomicPlan(w.nElems),
+		"coloring": nil, // built below (needs the conflict graph)
+		"multidep": nil,
+	}
+	ci := w.conflictGraph()
+	plans["coloring"] = NewColoringPlan(graph.FromAdjacency(ci.edges()))
+	subLabels, subAdj := w.blockSubdomains(16)
+	plans["multidep"] = NewMultidepPlan(subLabels, subAdj, KeyNeighbors)
+
+	for _, workers := range []int{1, 4} {
+		pool := NewPool(workers)
+		for name, plan := range plans {
+			step := func() {
+				if err := Assemble(pool, plan, kernel, plain, atomicS); err != nil {
+					panic(err)
+				}
+			}
+			for i := 0; i < 10; i++ { // warm-up: compiled graph, loop states, queue backing
+				step()
+			}
+			if avg := testing.AllocsPerRun(30, step); avg != 0 {
+				t.Errorf("strategy=%s workers=%d: steady-state Assemble allocates %.2f objects per step, want 0",
+					name, workers, avg)
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestAssembleZeroAllocLargestFirst extends the pin to the priority
+// scan: the opt-in release order must not reintroduce allocations.
+func TestAssembleZeroAllocLargestFirst(t *testing.T) {
+	w := newSynthWorkload(300, 2000, 5)
+	vec := make([]float64, w.nNodes)
+	plain := &Scatter{AddVec: func(i int32, v float64) { vec[i] += v }, AddMat: func(int32, int32, float64) {}}
+	subLabels, subAdj := w.blockSubdomains(16)
+	plan := NewMultidepPlan(subLabels, subAdj, KeyNeighbors)
+	plan.LargestFirst = true
+	pool := NewPool(4)
+	defer pool.Close()
+	kernel := w.kernel()
+	step := func() {
+		if err := Assemble(pool, plan, kernel, plain, nil); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(30, step); avg != 0 {
+		t.Errorf("largest-first Assemble allocates %.2f objects per step, want 0", avg)
+	}
+}
+
+// TestCompiledGraphRunZeroAlloc pins the generic compiled path (ad-hoc
+// graphs through TaskGraph.Compile), including ordering edges.
+func TestCompiledGraphRunZeroAlloc(t *testing.T) {
+	var tg TaskGraph
+	var sink int64
+	for i := 0; i < 32; i++ {
+		key := i % 4
+		tg.Add("", []Dep{{Inout, key}, {Mutexinoutset, "shared"}}, func() {
+			atomic.AddInt64(&sink, 1)
+		})
+	}
+	cg := tg.Compile()
+	pool := NewPool(4)
+	defer pool.Close()
+	for i := 0; i < 10; i++ {
+		if err := cg.Run(pool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(30, func() {
+		if err := cg.Run(pool); err != nil {
+			panic(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state CompiledGraph.Run allocates %.2f objects, want 0", avg)
+	}
+}

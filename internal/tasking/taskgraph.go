@@ -65,9 +65,31 @@ type task struct {
 
 // TaskGraph accumulates tasks with dependences and executes them on a
 // Pool respecting ordering (in/out/inout) and mutual exclusion
-// (mutexinoutset) semantics.
+// (mutexinoutset) semantics. It is the flexible allocating front-end;
+// graphs that run repeatedly over the same structure should be frozen
+// once with Compile and then reuse the CompiledGraph.
 type TaskGraph struct {
 	tasks []*task
+
+	// NameFn, when set, names task i lazily for error messages. Tasks
+	// added with an empty name are formatted through it only on the
+	// panic path, so the hot path never builds name strings.
+	NameFn func(i int) string
+
+	edgesBuilt bool
+}
+
+// taskName resolves the display name of task i: the eager name if one
+// was given, then NameFn, then a positional fallback. Called only on
+// error paths.
+func (tg *TaskGraph) taskName(i int) string {
+	if n := tg.tasks[i].name; n != "" {
+		return n
+	}
+	if tg.NameFn != nil {
+		return tg.NameFn(i)
+	}
+	return fmt.Sprintf("task-%d", i)
 }
 
 // keyState tracks, per key, the tasks relevant for edge construction.
@@ -94,7 +116,13 @@ func (tg *TaskGraph) Add(name string, deps []Dep, fn func()) {
 func (tg *TaskGraph) Len() int { return len(tg.tasks) }
 
 // buildEdges computes ordering edges from the dependence declarations.
+// It consumes the declaration state, so a graph may be Run or Compiled
+// only once (the compiled form is the reusable one).
 func (tg *TaskGraph) buildEdges() {
+	if tg.edgesBuilt {
+		panic("tasking: TaskGraph may be Run or Compiled only once; reuse the CompiledGraph instead")
+	}
+	tg.edgesBuilt = true
 	states := make(map[any]*keyState)
 	get := func(key any) *keyState {
 		s, ok := states[key]
@@ -221,7 +249,7 @@ func (tg *TaskGraph) Run(pool *Pool) error {
 					r := recover()
 					mu.Lock()
 					if firstErr == nil {
-						firstErr = fmt.Errorf("tasking: task %q panicked: %v", t.name, r)
+						firstErr = fmt.Errorf("tasking: task %q panicked: %v", tg.taskName(int(t.id)), r)
 					}
 					mu.Unlock()
 				}

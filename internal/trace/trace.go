@@ -90,6 +90,18 @@ type RankTracer struct {
 // Clock reports the rank's current timeline position.
 func (rt *RankTracer) Clock() float64 { return rt.clock }
 
+// Reserve pre-grows the event storage to hold at least n intervals, so
+// a run that knows its step count can record its whole timeline without
+// appending past capacity — the last allocator in an otherwise
+// allocation-free step loop.
+func (rt *RankTracer) Reserve(n int) {
+	if cap(rt.events) < n {
+		ev := make([]Event, len(rt.events), n)
+		copy(ev, rt.events)
+		rt.events = ev
+	}
+}
+
 // Advance appends an interval of the given duration at the current clock
 // and moves the clock forward. Zero or negative durations are ignored.
 func (rt *RankTracer) Advance(p Phase, duration float64) {
