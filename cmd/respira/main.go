@@ -17,7 +17,7 @@ import (
 
 	"repro"
 	"repro/internal/coupling"
-	"repro/internal/tasking"
+	"repro/scenario"
 )
 
 func main() {
@@ -35,6 +35,41 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print the phase timeline")
 	flag.Parse()
 
+	// Validate every flag before any simulation work: nonsensical counts
+	// (-steps -1, -gens 0, ...) exit 2 with a usage message, the same
+	// rules the respirad service applies to POST /jobs options (400).
+	usage := func(err error) {
+		fmt.Fprintln(os.Stderr, "respira:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+		fn   func(string, int) error
+	}{
+		{"ranks", *ranks, scenario.CheckPositive},
+		{"fluid", *fluid, scenario.CheckPositive},
+		{"parts", *parts, scenario.CheckPositive},
+		{"steps", *steps, scenario.CheckPositive},
+		{"particles", *particles, scenario.CheckNonNegative},
+		{"threads", *threads, scenario.CheckPositive},
+		{"gens", *gens, scenario.CheckPositive},
+		{"ranks-per-node", *ranksPerNode, scenario.CheckNonNegative},
+	} {
+		if err := c.fn(c.name, c.v); err != nil {
+			usage(err)
+		}
+	}
+	runMode, err := scenario.ParseMode(*mode)
+	if err != nil {
+		usage(err)
+	}
+	runStrategy, err := scenario.ParseStrategy(*strategy)
+	if err != nil {
+		usage(err)
+	}
+
 	cfg := repro.DefaultSimulationConfig()
 	cfg.Mesh.Generations = *gens
 	cfg.Run.Steps = *steps
@@ -45,39 +80,22 @@ func main() {
 		cfg.Run.RanksPerNode = *ranksPerNode
 	}
 
-	switch *mode {
-	case "sync":
-		cfg.Run.Mode = coupling.Synchronous
+	cfg.Run.Mode = runMode
+	switch runMode {
+	case coupling.Synchronous:
 		cfg.Run.FluidRanks = *ranks
 		cfg.Run.ParticleRanks = 0
 		if cfg.Run.RanksPerNode == 0 {
 			cfg.Run.RanksPerNode = *ranks
 		}
-	case "coupled":
-		cfg.Run.Mode = coupling.Coupled
+	case coupling.Coupled:
 		cfg.Run.FluidRanks = *fluid
 		cfg.Run.ParticleRanks = *parts
 		if cfg.Run.RanksPerNode == 0 {
 			cfg.Run.RanksPerNode = *fluid + *parts
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "respira: unknown mode %q\n", *mode)
-		os.Exit(2)
 	}
-
-	switch *strategy {
-	case "serial":
-		cfg.Run.NS.Strategy = tasking.StrategySerial
-	case "atomics":
-		cfg.Run.NS.Strategy = tasking.StrategyAtomic
-	case "coloring":
-		cfg.Run.NS.Strategy = tasking.StrategyColoring
-	case "multidep":
-		cfg.Run.NS.Strategy = tasking.StrategyMultidep
-	default:
-		fmt.Fprintf(os.Stderr, "respira: unknown strategy %q\n", *strategy)
-		os.Exit(2)
-	}
+	cfg.Run.NS.Strategy = runStrategy
 
 	res, err := repro.RunSimulation(cfg)
 	if err != nil {

@@ -1,0 +1,101 @@
+// Command respirad serves the scenario registry over HTTP as a
+// long-running job service: submit a scenario with optional overrides,
+// get a job ID, poll status and progress, fetch the typed artifact as
+// text, JSON, or CSV, cancel mid-run. A bounded cost/capacity scheduler
+// queues jobs FIFO when the process is saturated (and rejects with 429
+// once the queue is full), and an expiring single-flight artifact cache
+// deduplicates identical concurrent submissions into one underlying run.
+//
+// Endpoints:
+//
+//	GET    /scenarios                     registry listing with tags
+//	POST   /jobs                          {"scenario": "fig8", "options": {"steps": 2}}
+//	GET    /jobs                          all jobs, newest last
+//	GET    /jobs/{id}                     status + progress events
+//	GET    /jobs/{id}/artifact?format=f   f in text|json|csv
+//	DELETE /jobs/{id}                     cancel at the next step boundary
+//
+// Example:
+//
+//	respirad -addr :8080 -capacity 1536 -queue 64 -ttl 15m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	_ "repro" // populate the default scenario registry
+	"repro/internal/service"
+	"repro/internal/tasking"
+	"repro/scenario"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	capacity := flag.Int64("capacity", 0, "scheduler cost capacity (0 = 2x one default measured run)")
+	queue := flag.Int("queue", 64, "max jobs waiting for capacity before POST /jobs returns 429")
+	ttl := flag.Duration("ttl", 15*time.Minute, "artifact cache TTL")
+	workers := flag.Int("workers", runtime.NumCPU(), "shared runner pool workers")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "respirad:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := scenario.CheckNonNegative("capacity", int(*capacity)); err != nil {
+		fail(err)
+	}
+	if err := scenario.CheckNonNegative("queue", *queue); err != nil {
+		fail(err)
+	}
+	if err := scenario.CheckPositive("workers", *workers); err != nil {
+		fail(err)
+	}
+	if *ttl <= 0 {
+		fail(fmt.Errorf("ttl must be positive, got %v", *ttl))
+	}
+
+	pool := tasking.NewPool(*workers)
+	defer pool.Close()
+	srv := service.New(service.Config{
+		Capacity:   *capacity,
+		MaxQueue:   *queue,
+		CacheTTL:   *ttl,
+		RunnerPool: pool,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "respirad: "+format+"\n", args...)
+		},
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "respirad: serving %d scenarios on %s (queue %d, ttl %v, %d pool workers)\n",
+		len(scenario.Default.Names()), *addr, *queue, *ttl, *workers)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "respirad:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "respirad: shutting down")
+		srv.Close() // cancel in-flight jobs at their next step boundary
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx) //nolint:errcheck
+	}
+}

@@ -1,0 +1,164 @@
+// Package memo implements an expiring single-flight memoization cache:
+// concurrent callers of the same key share one underlying computation,
+// successful results are served from cache until a TTL ages them out,
+// and failed or cancelled computations are evicted immediately so a
+// transient failure never poisons the key for later callers.
+//
+// It generalizes the calibration memo the repro package grew in PR 3
+// (one probe + measured run pair shared by Table 1 and Figure 2) into
+// the artifact cache a long-running server needs: bounded staleness,
+// no unbounded growth, and the same leader/waiter semantics — a waiter
+// whose own context is still live retries after observing a failed
+// leader instead of inheriting the leader's error.
+package memo
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// entry is one computation slot. done is closed when the leader's
+// computation finishes; val/err/expires are written before the close and
+// only read after it (or under the cache mutex), so waiters see a
+// consistent result.
+type entry[V any] struct {
+	done    chan struct{}
+	val     V
+	err     error
+	expires time.Time // zero while in flight or when the cache has no TTL
+}
+
+// expired reports whether e completed successfully long enough ago to
+// age out. In-flight and no-TTL entries never expire.
+func (e *entry[V]) expired(now time.Time) bool {
+	return !e.expires.IsZero() && now.After(e.expires)
+}
+
+// Cache memoizes fn results per key with single-flight deduplication and
+// TTL expiry. The zero value is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	mu        sync.Mutex
+	m         map[K]*entry[V]
+	ttl       time.Duration // <= 0: entries never expire
+	now       func() time.Time
+	lastSweep time.Time
+}
+
+// New returns a cache whose successful entries expire ttl after
+// completion (ttl <= 0 disables expiry — the PR 3 run-once-per-process
+// behavior).
+func New[K comparable, V any](ttl time.Duration) *Cache[K, V] {
+	return NewWithClock[K, V](ttl, time.Now)
+}
+
+// NewWithClock is New with an injectable clock, for expiry tests.
+func NewWithClock[K comparable, V any](ttl time.Duration, now func() time.Time) *Cache[K, V] {
+	return &Cache[K, V]{m: make(map[K]*entry[V]), ttl: ttl, now: now}
+}
+
+// Do returns the memoized value for k, computing it with fn if no live
+// entry exists. Exactly one caller (the leader) runs fn per entry;
+// concurrent callers wait for it. A failed leader's entry is evicted and
+// waiters with a live ctx retry (each Do invocation runs fn at most
+// once); a waiter whose own ctx is done returns its ctx error — unless
+// the computation already completed successfully, in which case the
+// memoized value is served (it costs nothing).
+func (c *Cache[K, V]) Do(ctx context.Context, k K, fn func(context.Context) (V, error)) (V, error) {
+	for {
+		c.mu.Lock()
+		c.sweepLocked()
+		e, live := c.m[k]
+		if live && e.expired(c.now()) {
+			delete(c.m, k)
+			live = false
+		}
+		if !live {
+			e = &entry[V]{done: make(chan struct{})}
+			c.m[k] = e
+			c.mu.Unlock()
+			e.val, e.err = fn(ctx)
+			c.mu.Lock()
+			if e.err != nil {
+				if c.m[k] == e {
+					delete(c.m, k)
+				}
+			} else if c.ttl > 0 {
+				e.expires = c.now().Add(c.ttl)
+			}
+			c.mu.Unlock()
+			close(e.done)
+			return e.val, e.err
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			// Prefer a completed computation over a cancelled waiter (a
+			// two-way select picks randomly when both are ready, and a
+			// memoized hit costs nothing to serve).
+		case <-ctx.Done():
+			select {
+			case <-e.done:
+			default:
+				var zero V
+				return zero, ctx.Err()
+			}
+		}
+		if e.err == nil {
+			return e.val, nil
+		}
+		if err := ctx.Err(); err != nil {
+			var zero V
+			return zero, err
+		}
+		// The leader normally evicts its failed entry itself; the
+		// double-check makes the retry safe even if this waiter wins the
+		// race to observe the failure.
+		c.evict(k, e)
+	}
+}
+
+// Forget drops k's entry if present (in flight or completed). An
+// in-flight leader still completes and returns its result to waiters
+// already attached; new callers start fresh.
+func (c *Cache[K, V]) Forget(k K) {
+	c.mu.Lock()
+	delete(c.m, k)
+	c.mu.Unlock()
+}
+
+// Len reports the number of entries currently held (including in-flight
+// and expired-but-unswept ones).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// evict removes e unless a newer entry replaced it.
+func (c *Cache[K, V]) evict(k K, e *entry[V]) {
+	c.mu.Lock()
+	if c.m[k] == e {
+		delete(c.m, k)
+	}
+	c.mu.Unlock()
+}
+
+// sweepLocked drops expired entries at most once per TTL period, so a
+// daemon serving many distinct keys does not accumulate dead entries
+// that no lookup ever touches again. Called with c.mu held.
+func (c *Cache[K, V]) sweepLocked() {
+	if c.ttl <= 0 {
+		return
+	}
+	now := c.now()
+	if now.Sub(c.lastSweep) < c.ttl {
+		return
+	}
+	c.lastSweep = now
+	for k, e := range c.m {
+		if e.expired(now) {
+			delete(c.m, k)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package memo
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded settable clock for expiry tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestDoMemoizes(t *testing.T) {
+	c := New[string, int](time.Hour)
+	var calls atomic.Int32
+	fn := func(context.Context) (int, error) {
+		calls.Add(1)
+		return 42, nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := c.Do(context.Background(), "k", fn)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	// Distinct keys are distinct computations.
+	if _, err := c.Do(context.Background(), "other", fn); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("fn ran %d times after second key, want 2", calls.Load())
+	}
+}
+
+// TestEntriesAgeOut: a successful entry is served until the TTL elapses,
+// then recomputed; the sweep also drops expired entries nobody asks for
+// again.
+func TestEntriesAgeOut(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewWithClock[string, int](time.Minute, clk.now)
+	var calls atomic.Int32
+	fn := func(context.Context) (int, error) {
+		return int(calls.Add(1)), nil
+	}
+	v, _ := c.Do(context.Background(), "k", fn)
+	if v != 1 {
+		t.Fatalf("first Do = %d", v)
+	}
+	clk.advance(30 * time.Second)
+	if v, _ := c.Do(context.Background(), "k", fn); v != 1 {
+		t.Fatalf("inside TTL: Do = %d, want cached 1", v)
+	}
+	clk.advance(31 * time.Second) // past the minute
+	if v, _ := c.Do(context.Background(), "k", fn); v != 2 {
+		t.Fatalf("past TTL: Do = %d, want recomputed 2", v)
+	}
+	// Sweep: an unrelated Do after the TTL drops the stale entry too.
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	clk.advance(2 * time.Minute)
+	if _, err := c.Do(context.Background(), "unrelated", fn); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 { // only "unrelated" survives; "k" was swept
+		t.Fatalf("Len after sweep = %d, want 1", c.Len())
+	}
+}
+
+// TestFailedLeaderDoesNotPoisonWaiters: a leader cancelled mid-flight is
+// evicted; a concurrent waiter with a live context retries and succeeds
+// instead of inheriting the leader's error.
+func TestFailedLeaderDoesNotPoisonWaiters(t *testing.T) {
+	c := New[string, int](time.Hour)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderStarted := make(chan struct{})
+	leaderDone := make(chan struct{})
+
+	go func() {
+		defer close(leaderDone)
+		_, err := c.Do(leaderCtx, "k", func(ctx context.Context) (int, error) {
+			close(leaderStarted)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v, want Canceled", err)
+		}
+	}()
+	<-leaderStarted
+
+	waiterResult := make(chan int, 1)
+	waiterStarted := make(chan struct{})
+	go func() {
+		close(waiterStarted)
+		v, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return 7, nil
+		})
+		if err != nil {
+			t.Errorf("waiter inherited the leader's failure: %v", err)
+		}
+		waiterResult <- v
+	}()
+	<-waiterStarted
+	cancelLeader()
+	if v := <-waiterResult; v != 7 {
+		t.Fatalf("waiter got %d, want its own retry's 7", v)
+	}
+	<-leaderDone
+	// The retry's success is cached.
+	v, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+		t.Error("cached success must not recompute")
+		return 0, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("post-retry Do = %d, %v", v, err)
+	}
+}
+
+// TestWaiterOwnCancellation: a waiter whose own ctx dies while the
+// leader is still computing gets its ctx error, not a hang; the leader
+// is unaffected.
+func TestWaiterOwnCancellation(t *testing.T) {
+	c := New[string, int](time.Hour)
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	leaderOut := make(chan int, 1)
+	go func() {
+		v, _ := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(leaderStarted)
+			<-release
+			return 9, nil
+		})
+		leaderOut <- v
+	}()
+	<-leaderStarted
+
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.Do(waiterCtx, "k", func(context.Context) (int, error) {
+			t.Error("waiter must not become a leader while the entry is live")
+			return 0, nil
+		})
+		waiterErr <- err
+	}()
+	cancelWaiter()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want its own Canceled", err)
+	}
+	close(release)
+	if v := <-leaderOut; v != 9 {
+		t.Fatalf("leader = %d, want 9", v)
+	}
+	// A completed computation is served even to a dead-ctx caller.
+	deadCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if v, err := c.Do(deadCtx, "k", nil); err != nil || v != 9 {
+		t.Fatalf("dead-ctx cached hit = %d, %v; want 9, nil", v, err)
+	}
+}
+
+// TestSingleflightConcurrent: N concurrent callers of one key share one
+// computation (run under -race in CI).
+func TestSingleflightConcurrent(t *testing.T) {
+	c := New[string, int](time.Hour)
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+				calls.Add(1)
+				<-gate
+				return 5, nil
+			})
+			if err != nil || v != 5 {
+				errs <- err
+			}
+		}()
+	}
+	// Let the leader start and the others pile up, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("caller failed: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1 (singleflight)", calls.Load())
+	}
+}
+
+// TestForget drops an entry so the next Do recomputes.
+func TestForget(t *testing.T) {
+	c := New[string, int](0) // no TTL: only Forget evicts
+	var calls atomic.Int32
+	fn := func(context.Context) (int, error) { return int(calls.Add(1)), nil }
+	c.Do(context.Background(), "k", fn)
+	c.Forget("k")
+	if v, _ := c.Do(context.Background(), "k", fn); v != 2 {
+		t.Fatalf("Do after Forget = %d, want 2", v)
+	}
+}
+
+// TestNoTTLNeverExpires: ttl <= 0 keeps entries forever (the PR 3
+// process-lifetime memoization behavior).
+func TestNoTTLNeverExpires(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewWithClock[string, int](0, clk.now)
+	var calls atomic.Int32
+	fn := func(context.Context) (int, error) { return int(calls.Add(1)), nil }
+	c.Do(context.Background(), "k", fn)
+	clk.advance(1000 * time.Hour)
+	if v, _ := c.Do(context.Background(), "k", fn); v != 1 {
+		t.Fatalf("no-TTL entry recomputed: %d", v)
+	}
+}

@@ -1,0 +1,502 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/memo"
+	"repro/internal/tasking"
+	"repro/scenario"
+)
+
+// Config sizes a Server. The zero value of every field has a sensible
+// default; Registry defaults to scenario.Default.
+type Config struct {
+	// Registry is the scenario catalog served by GET /scenarios and
+	// resolved by POST /jobs.
+	Registry *scenario.Registry
+	// Capacity is the scheduler's total cost budget (cost units of
+	// concurrently running scenario work). Default 2x the cost of one
+	// default-sized measured run.
+	Capacity int64
+	// MaxQueue is how many accepted jobs may wait for capacity before
+	// POST /jobs returns 429. Default 64.
+	MaxQueue int
+	// CacheTTL is how long a finished artifact is served for identical
+	// resubmissions before it is recomputed. Default 15 minutes.
+	CacheTTL time.Duration
+	// RunnerPool, when set, is the shared worker pool injected into every
+	// job's Runner, so a server running thousands of jobs does not build
+	// and tear down a pool per request. The caller owns (and closes) it.
+	RunnerPool *tasking.Pool
+	// Logf, when set, receives one line per job state change.
+	Logf func(format string, args ...any)
+}
+
+// Cost of one default-sized measured run (DefaultTable1Options: 96 ranks
+// x 2 steps x 4 mesh generations); modeled/report scenarios cost a
+// nominal unit. See EstimateCost.
+const (
+	defaultRanks   = 96
+	defaultSteps   = 2
+	defaultGens    = 4
+	defaultRunCost = defaultRanks * defaultSteps * defaultGens
+)
+
+// EstimateCost prices a submission in scheduler cost units: measured
+// scenarios (the ones that execute a real simulation) cost
+// ranks x steps x mesh generations with unset params at their
+// Table-1 defaults; modeled figures and report scenarios, which finish
+// in milliseconds, cost a nominal single unit.
+func EstimateCost(sc scenario.Scenario, p scenario.Params) int64 {
+	measured := false
+	for _, t := range sc.Tags() {
+		if t == "measured" {
+			measured = true
+			break
+		}
+	}
+	if !measured {
+		return 1
+	}
+	ranks, steps, gens := defaultRanks, defaultSteps, defaultGens
+	if p.Ranks > 0 {
+		ranks = p.Ranks
+	}
+	if p.Steps > 0 {
+		steps = p.Steps
+	}
+	if p.MeshGenerations > 0 {
+		gens = p.MeshGenerations
+	}
+	return int64(ranks) * int64(steps) * int64(gens)
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job states. Queued covers both waiting-for-capacity and waiting on a
+// deduplicated identical run; a job that never ran itself but adopted a
+// shared artifact goes queued -> done with Shared set.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Job is one accepted submission.
+type Job struct {
+	mu       sync.Mutex
+	id       string
+	scenario string
+	params   scenario.Params
+	key      string
+	cost     int64
+	state    JobState
+	shared   bool // finished without running: adopted a deduplicated run
+	events   []scenario.Event
+	artifact *scenario.Artifact
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+}
+
+// Server is the HTTP job service over a scenario registry.
+type Server struct {
+	reg   *scenario.Registry
+	sched *Scheduler
+	cache *memo.Cache[string, *scenario.Artifact]
+	pool  *tasking.Pool
+	logf  func(string, ...any)
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+}
+
+// New builds a Server from cfg (see Config for defaults).
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = scenario.Default
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 2 * defaultRunCost
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = 15 * time.Minute
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		reg:   cfg.Registry,
+		sched: NewScheduler(cfg.Capacity, cfg.MaxQueue),
+		cache: memo.New[string, *scenario.Artifact](cfg.CacheTTL),
+		pool:  cfg.RunnerPool,
+		logf:  logf,
+		jobs:  make(map[string]*Job),
+	}
+}
+
+// Close cancels every unfinished job. In-flight simulations stop at
+// their next step boundary.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+}
+
+// Scheduler exposes the admission controller (for stats and tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	return mux
+}
+
+// --- wire types ---
+
+// submitRequest is the POST /jobs body.
+type submitRequest struct {
+	Scenario string              `json:"scenario"`
+	Options  scenario.ParamsSpec `json:"options"`
+}
+
+type scenarioJSON struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Tags        []string `json:"tags"`
+}
+
+type eventJSON struct {
+	Scenario  string  `json:"scenario"`
+	Done      bool    `json:"done"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsedMs,omitempty"`
+}
+
+type jobJSON struct {
+	ID        string      `json:"id"`
+	Scenario  string      `json:"scenario"`
+	State     JobState    `json:"state"`
+	Cost      int64       `json:"cost"`
+	Shared    bool        `json:"shared,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	Created   time.Time   `json:"created"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+	ElapsedMS float64     `json:"elapsedMs,omitempty"`
+	Events    []eventJSON `json:"events,omitempty"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // status already committed
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	var out []scenarioJSON
+	for _, sc := range s.reg.Scenarios() {
+		out = append(out, scenarioJSON{Name: sc.Name(), Description: sc.Describe(), Tags: sc.Tags()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]jobJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req submitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sc, err := s.reg.Get(req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params, err := req.Options.Params()
+	if err != nil {
+		// The same validation respira applies to its flags (exit 2).
+		writeError(w, http.StatusBadRequest, "bad options: %v", err)
+		return
+	}
+	job, err := s.submit(sc, params)
+	if errors.Is(err, ErrQueueFull) {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, job.snapshot(true))
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot(true))
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "text"
+	}
+	switch format {
+	case "text", "json", "csv":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want text, json, or csv)", format)
+		return
+	}
+	j.mu.Lock()
+	state, art, jerr := j.state, j.artifact, j.err
+	j.mu.Unlock()
+	if state != StateDone {
+		msg := fmt.Sprintf("job %s is %s, artifact not available", j.id, state)
+		if jerr != nil {
+			msg += ": " + jerr.Error()
+		}
+		writeError(w, http.StatusConflict, "%s", msg)
+		return
+	}
+	switch format {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, art.Text())
+	case "json":
+		out, err := art.JSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out) //nolint:errcheck
+	case "csv":
+		out, err := art.CSV()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		fmt.Fprint(w, out)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	// Cancelling a finished job is a no-op; an unfinished one stops at
+	// its next step boundary and reports state "cancelled".
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.snapshot(true))
+}
+
+// --- job lifecycle ---
+
+// submit admits and launches one job. The scheduler reservation is
+// synchronous (429 propagates as ErrQueueFull before the job exists);
+// execution is asynchronous behind the returned job's ID.
+func (s *Server) submit(sc scenario.Scenario, params scenario.Params) (*Job, error) {
+	cost := EstimateCost(sc, params)
+	ticket, err := s.sched.Enqueue(cost)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		scenario: sc.Name(),
+		params:   params,
+		key:      sc.Name() + "\x00" + params.CanonicalKey(),
+		cost:     cost,
+		state:    StateQueued,
+		created:  time.Now(),
+		cancel:   cancel,
+	}
+	s.mu.Lock()
+	s.nextID++
+	job.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.mu.Unlock()
+	s.logf("job %s: accepted scenario=%s cost=%d key=%q", job.id, job.scenario, cost, job.key)
+	go s.run(ctx, job, sc, ticket)
+	return job, nil
+}
+
+// run executes one job to completion. The artifact cache wraps the
+// scheduler: only the single-flight leader for a key acquires run
+// capacity and executes the scenario; deduplicated jobs wait on the
+// leader's entry holding at most a queue slot, and adopt its artifact.
+func (s *Server) run(ctx context.Context, job *Job, sc scenario.Scenario, ticket *Ticket) {
+	defer job.cancel() // release the context's resources
+	defer ticket.Done()
+	art, err := s.cache.Do(ctx, job.key, func(ctx context.Context) (*scenario.Artifact, error) {
+		if err := ticket.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		job.setRunning()
+		s.logf("job %s: running", job.id)
+		r := &scenario.Runner{Pool: s.pool, Progress: job.record}
+		results, err := r.Run(ctx, []scenario.Scenario{sc}, job.params)
+		if err != nil && (len(results) == 0 || results[0].Err == nil) {
+			return nil, err
+		}
+		if res := results[0]; res.Err != nil {
+			return nil, res.Err
+		}
+		return results[0].Artifact, nil
+	})
+	job.finish(art, err)
+	s.logf("job %s: %s", job.id, job.snapshot(false).State)
+}
+
+// record appends one progress event (a Runner.Progress callback).
+func (j *Job) record(ev scenario.Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.mu.Unlock()
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish resolves the job from the cache.Do outcome: success (own run or
+// adopted shared artifact), cancellation, or failure.
+func (j *Job) finish(art *scenario.Artifact, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.shared = j.state == StateQueued // never ran itself: deduplicated
+		j.state = StateDone
+		j.artifact = art
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+}
+
+// snapshot renders the job for the wire. withEvents includes the
+// progress event log (job detail); listings omit it.
+func (j *Job) snapshot(withEvents bool) jobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := jobJSON{
+		ID:       j.id,
+		Scenario: j.scenario,
+		State:    j.state,
+		Cost:     j.cost,
+		Shared:   j.shared,
+		Created:  j.created,
+	}
+	if j.err != nil {
+		out.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		out.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		out.Finished = &t
+		ref := j.started
+		if ref.IsZero() {
+			ref = j.created
+		}
+		out.ElapsedMS = float64(j.finished.Sub(ref)) / float64(time.Millisecond)
+	}
+	if withEvents {
+		for _, ev := range j.events {
+			ej := eventJSON{Scenario: ev.Scenario, Done: ev.Done,
+				ElapsedMS: float64(ev.Elapsed) / float64(time.Millisecond)}
+			if ev.Err != nil {
+				ej.Error = ev.Err.Error()
+			}
+			out.Events = append(out.Events, ej)
+		}
+	}
+	return out
+}
+
+// String renders a short human-readable job line (for logs).
+func (j *Job) String() string {
+	snap := j.snapshot(false)
+	return strings.TrimSpace(fmt.Sprintf("%s %s [%s]", snap.ID, snap.Scenario, snap.State))
+}

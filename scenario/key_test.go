@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/coupling"
+	"repro/internal/tasking"
+)
+
+// TestCanonicalKeyDeterministic: identically configured Params produce
+// identical keys however they were built, and the zero value is empty.
+func TestCanonicalKeyDeterministic(t *testing.T) {
+	if k := (Params{}).CanonicalKey(); k != "" {
+		t.Fatalf("zero Params key = %q, want empty", k)
+	}
+	a := NewParams(WithRanks(8), WithSteps(3), WithDLB(true))
+	b := Params{Ranks: 8, Steps: 3}
+	on := true
+	b.DLB = &on
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatalf("equivalent Params differ: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	}
+	// Pointer fields key by value, not by pointer identity.
+	c := NewParams(WithMode(coupling.Coupled), WithStrategy(tasking.StrategyMultidep))
+	d := NewParams(WithMode(coupling.Coupled), WithStrategy(tasking.StrategyMultidep))
+	if c.CanonicalKey() != d.CanonicalKey() {
+		t.Fatal("pointer fields must key by value")
+	}
+}
+
+// TestCanonicalKeyDistinguishes: changing any set field changes the key.
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	off := false
+	variants := []Params{
+		{},
+		{Ranks: 8},
+		{Ranks: 9},
+		{ParticleRanks: 8},
+		{Steps: 8},
+		{Particles: 8},
+		{MeshGenerations: 8},
+		{Workers: 8},
+		{Width: 8},
+		{Rows: 8},
+		{Seed: 8},
+		{DLB: &off},
+		NewParams(WithMode(coupling.Coupled)),
+		NewParams(WithStrategy(tasking.StrategyColoring)),
+		NewParams(WithSGSStrategy(tasking.StrategyColoring)),
+		{Platforms: []string{"Thunder"}},
+	}
+	seen := map[string]int{}
+	for i, p := range variants {
+		k := p.CanonicalKey()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("variants %d and %d collide on %q", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestCanonicalKeyPlatformsSetLike: platform order and duplicates do not
+// matter (selection semantics are set-like).
+func TestCanonicalKeyPlatformsSetLike(t *testing.T) {
+	a := Params{Platforms: []string{"Thunder", "MareNostrum4"}}
+	b := Params{Platforms: []string{"MareNostrum4", "Thunder", "MareNostrum4"}}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatalf("platform order/dups changed the key: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	}
+}

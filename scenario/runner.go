@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -35,8 +36,14 @@ type Result struct {
 // (input order); completion order is not.
 type Runner struct {
 	// Parallel is the number of scenarios in flight at once (<= 1 runs
-	// them serially on the calling goroutine).
+	// them serially on the calling goroutine). Ignored when Pool is set.
 	Parallel int
+	// Pool, when set, executes multi-scenario runs over this shared pool
+	// instead of building (and tearing down) a fresh one per Run call —
+	// the right configuration for a long-running server issuing many
+	// Runs. Concurrency is then the pool's worker count plus the calling
+	// goroutine, and closing the pool remains the owner's job.
+	Pool *tasking.Pool
 	// Progress, when set, receives start and finish events. Calls are
 	// serialized; the callback must not invoke the Runner.
 	Progress func(Event)
@@ -44,7 +51,10 @@ type Runner struct {
 
 // Run executes scs with shared params p. A ctx cancellation stops
 // scenarios at their next step boundary and marks not-yet-started ones
-// with ctx.Err(); Run itself returns nil error unless ctx was cancelled.
+// with ctx.Err(); Run itself returns nil error unless the cancellation
+// actually interrupted the batch (at least one result carries ctx's
+// error — a cancel that lands after every scenario finished, e.g. a
+// server's deferred cancel, must not spoil a complete result set).
 func (r *Runner) Run(ctx context.Context, scs []Scenario, p Params) ([]Result, error) {
 	results := make([]Result, len(scs))
 	var mu sync.Mutex
@@ -80,21 +90,33 @@ func (r *Runner) Run(ctx context.Context, scs []Scenario, p Params) ([]Result, e
 			Err: res.Err, Elapsed: res.Elapsed})
 	}
 
-	if r.Parallel <= 1 || len(scs) <= 1 {
-		for i := range scs {
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			runOne(i)
 		}
-	} else {
+	}
+	switch {
+	case len(scs) <= 1 || (r.Pool == nil && r.Parallel <= 1):
+		body(0, len(scs))
+	case r.Pool != nil:
+		r.Pool.ParallelFor(len(scs), 1, body)
+	default:
 		// The pool's ParallelFor with grain 1 hands each scenario to one
 		// puller; the caller participates, so Parallel counts it.
 		workers := r.Parallel - 1
 		pool := tasking.NewPool(workers)
 		defer pool.Close()
-		pool.ParallelFor(len(scs), 1, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				runOne(i)
-			}
-		})
+		pool.ParallelFor(len(scs), 1, body)
 	}
-	return results, ctx.Err()
+	// Report cancellation only when it had an effect: a ctx that was
+	// cancelled after the last scenario completed leaves no result marked
+	// with its error, and the full result set stands.
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if errors.Is(results[i].Err, err) {
+				return results, err
+			}
+		}
+	}
+	return results, nil
 }

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/tasking"
 )
 
 // TestRunnerDeterministicOrdering: results keep the input order at any
@@ -113,6 +115,72 @@ func TestRunnerCancellation(t *testing.T) {
 		if !errors.Is(res.Err, context.Canceled) {
 			t.Fatalf("%s err = %v, want Canceled", res.Scenario, res.Err)
 		}
+	}
+}
+
+// TestRunnerLateCancelDoesNotSpoilSuccess: a cancellation that lands
+// after every scenario already finished (the natural server pattern —
+// Run succeeds, then a deferred cancel fires while Run is returning)
+// must not turn a complete result set into an error.
+func TestRunnerLateCancelDoesNotSpoilSuccess(t *testing.T) {
+	for _, parallel := range []int{1, 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		// The last scenario body to finish cancels: by then every
+		// scenario has passed its pre-run ctx check and none consults
+		// ctx again, so all results are recorded successfully and the
+		// cancellation is visible only to Run's final error report.
+		// Deterministic at any parallelism.
+		const n = 3
+		var remaining atomic.Int32
+		remaining.Store(n)
+		var scs []Scenario
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("s%d", i)
+			scs = append(scs, New(name, "", nil, func(ctx context.Context, p Params) (*Artifact, error) {
+				if remaining.Add(-1) == 0 {
+					cancel()
+				}
+				return &Artifact{Scenario: name, Kind: KindReport, Report: "x\n"}, nil
+			}))
+		}
+		r := Runner{Parallel: parallel}
+		results, err := r.Run(ctx, scs, Params{})
+		if err != nil {
+			t.Fatalf("parallel=%d: Run returned %v for a fully successful batch", parallel, err)
+		}
+		for _, res := range results {
+			if res.Err != nil || res.Artifact == nil {
+				t.Fatalf("parallel=%d: %s: err=%v", parallel, res.Scenario, res.Err)
+			}
+		}
+		cancel()
+	}
+}
+
+// TestRunnerInjectedPool: a shared pool executes the batch without being
+// consumed — the Runner neither closes it nor degrades it for reuse.
+func TestRunnerInjectedPool(t *testing.T) {
+	pool := tasking.NewPool(2)
+	defer pool.Close()
+	var scs []Scenario
+	for i := 0; i < 6; i++ {
+		scs = append(scs, stub(fmt.Sprintf("s%d", i)))
+	}
+	r := Runner{Pool: pool}
+	for round := 0; round < 3; round++ {
+		results, err := r.Run(context.Background(), scs, Params{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i, res := range results {
+			want := fmt.Sprintf("s%d", i)
+			if res.Err != nil || res.Artifact == nil || res.Scenario != want {
+				t.Fatalf("round %d slot %d: %+v", round, i, res)
+			}
+		}
+	}
+	if pool.Workers() < 1 {
+		t.Fatal("runner degraded the injected pool")
 	}
 }
 

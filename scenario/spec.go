@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/coupling"
+	"repro/internal/tasking"
+)
+
+// ParseMode resolves a CLI/API execution-mode name ("sync" or "coupled")
+// to a coupling.Mode. Unknown names are an error listing the vocabulary.
+func ParseMode(name string) (coupling.Mode, error) {
+	switch name {
+	case "sync", "synchronous":
+		return coupling.Synchronous, nil
+	case "coupled":
+		return coupling.Coupled, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want sync or coupled)", name)
+}
+
+// ParseStrategy resolves a CLI/API assembly-strategy name to a
+// tasking.Strategy. Unknown names are an error listing the vocabulary.
+func ParseStrategy(name string) (tasking.Strategy, error) {
+	switch name {
+	case "serial":
+		return tasking.StrategySerial, nil
+	case "atomics":
+		return tasking.StrategyAtomic, nil
+	case "coloring":
+		return tasking.StrategyColoring, nil
+	case "multidep":
+		return tasking.StrategyMultidep, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want serial, atomics, coloring, or multidep)", name)
+}
+
+// CheckPositive rejects a count that must be at least 1 (steps, ranks,
+// mesh generations, worker threads). It is the shared validation both
+// the respira CLI (exit 2) and the service's job decoding (HTTP 400)
+// apply before any simulation work starts.
+func CheckPositive(name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s must be >= 1, got %d", name, v)
+	}
+	return nil
+}
+
+// CheckNonNegative rejects a count that may be zero but not negative
+// (particles, ranks-per-node).
+func CheckNonNegative(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0, got %d", name, v)
+	}
+	return nil
+}
+
+// ParamsSpec is the wire form of Params: every field optional (nil =
+// keep the scenario's default), modes and strategies by name. It is what
+// the service's POST /jobs body carries under "options"; Params()
+// validates and resolves it, so a bad value is rejected before a job is
+// admitted, with the same rules the respira CLI enforces.
+type ParamsSpec struct {
+	Ranks           *int     `json:"ranks,omitempty"`
+	ParticleRanks   *int     `json:"particleRanks,omitempty"`
+	Mode            *string  `json:"mode,omitempty"`
+	Strategy        *string  `json:"strategy,omitempty"`
+	SGSStrategy     *string  `json:"sgsStrategy,omitempty"`
+	DLB             *bool    `json:"dlb,omitempty"`
+	MeshGenerations *int     `json:"meshGenerations,omitempty"`
+	Particles       *int     `json:"particles,omitempty"`
+	Steps           *int     `json:"steps,omitempty"`
+	Workers         *int     `json:"workers,omitempty"`
+	Platforms       []string `json:"platforms,omitempty"`
+	Width           *int     `json:"width,omitempty"`
+	Rows            *int     `json:"rows,omitempty"`
+	Seed            *int64   `json:"seed,omitempty"`
+}
+
+// Params validates the spec and resolves it into a Params value. The
+// first offending field fails the whole spec; nothing is partially
+// applied.
+func (s ParamsSpec) Params() (Params, error) {
+	var p Params
+	checks := []struct {
+		name string
+		v    *int
+		fn   func(string, int) error
+		dst  *int
+	}{
+		{"ranks", s.Ranks, CheckPositive, &p.Ranks},
+		{"particleRanks", s.ParticleRanks, CheckNonNegative, &p.ParticleRanks},
+		{"meshGenerations", s.MeshGenerations, CheckPositive, &p.MeshGenerations},
+		{"particles", s.Particles, CheckNonNegative, &p.Particles},
+		{"steps", s.Steps, CheckPositive, &p.Steps},
+		{"workers", s.Workers, CheckPositive, &p.Workers},
+		{"width", s.Width, CheckPositive, &p.Width},
+		{"rows", s.Rows, CheckPositive, &p.Rows},
+	}
+	for _, c := range checks {
+		if c.v == nil {
+			continue
+		}
+		if err := c.fn(c.name, *c.v); err != nil {
+			return Params{}, err
+		}
+		*c.dst = *c.v
+	}
+	if s.Mode != nil {
+		m, err := ParseMode(*s.Mode)
+		if err != nil {
+			return Params{}, err
+		}
+		p.Mode = &m
+	}
+	if s.Strategy != nil {
+		st, err := ParseStrategy(*s.Strategy)
+		if err != nil {
+			return Params{}, err
+		}
+		p.Strategy = &st
+	}
+	if s.SGSStrategy != nil {
+		st, err := ParseStrategy(*s.SGSStrategy)
+		if err != nil {
+			return Params{}, err
+		}
+		p.SGSStrategy = &st
+	}
+	if s.DLB != nil {
+		p.DLB = s.DLB
+	}
+	if len(s.Platforms) > 0 {
+		p.Platforms = append([]string(nil), s.Platforms...)
+	}
+	if s.Seed != nil {
+		p.Seed = *s.Seed
+	}
+	return p, nil
+}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/coupling"
+	"repro/internal/tasking"
+)
+
+func iptr(v int) *int       { return &v }
+func sptr(v string) *string { return &v }
+
+// TestParamsSpecResolves: a fully populated spec resolves every field.
+func TestParamsSpecResolves(t *testing.T) {
+	on := true
+	seed := int64(42)
+	spec := ParamsSpec{
+		Ranks: iptr(8), ParticleRanks: iptr(2),
+		Mode: sptr("coupled"), Strategy: sptr("multidep"), SGSStrategy: sptr("coloring"),
+		DLB: &on, MeshGenerations: iptr(3), Particles: iptr(1000),
+		Steps: iptr(4), Workers: iptr(2), Platforms: []string{"Thunder"},
+		Width: iptr(90), Rows: iptr(10), Seed: &seed,
+	}
+	p, err := spec.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ranks != 8 || p.ParticleRanks != 2 || p.MeshGenerations != 3 ||
+		p.Particles != 1000 || p.Steps != 4 || p.Workers != 2 ||
+		p.Width != 90 || p.Rows != 10 || p.Seed != 42 {
+		t.Fatalf("resolved params = %+v", p)
+	}
+	if p.Mode == nil || *p.Mode != coupling.Coupled {
+		t.Fatalf("mode = %v", p.Mode)
+	}
+	if p.Strategy == nil || *p.Strategy != tasking.StrategyMultidep {
+		t.Fatalf("strategy = %v", p.Strategy)
+	}
+	if p.SGSStrategy == nil || *p.SGSStrategy != tasking.StrategyColoring {
+		t.Fatalf("sgs strategy = %v", p.SGSStrategy)
+	}
+	if p.DLB == nil || !*p.DLB {
+		t.Fatalf("dlb = %v", p.DLB)
+	}
+	if len(p.Platforms) != 1 || p.Platforms[0] != "Thunder" {
+		t.Fatalf("platforms = %v", p.Platforms)
+	}
+	// Empty spec resolves to zero Params (scenario defaults).
+	p, err = ParamsSpec{}.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CanonicalKey() != "" {
+		t.Fatalf("empty spec params = %+v", p)
+	}
+}
+
+// TestParamsSpecRejects: the validation the CLIs exit(2) on and the
+// service 400s on — nonsensical counts and unknown vocabulary.
+func TestParamsSpecRejects(t *testing.T) {
+	cases := map[string]ParamsSpec{
+		"steps -1":         {Steps: iptr(-1)},
+		"steps 0":          {Steps: iptr(0)},
+		"gens 0":           {MeshGenerations: iptr(0)},
+		"particles -5":     {Particles: iptr(-5)},
+		"ranks 0":          {Ranks: iptr(0)},
+		"workers 0":        {Workers: iptr(0)},
+		"particleRanks -1": {ParticleRanks: iptr(-1)},
+		"width 0":          {Width: iptr(0)},
+		"rows -2":          {Rows: iptr(-2)},
+		"unknown strategy": {Strategy: sptr("speculative")},
+		"unknown sgs":      {SGSStrategy: sptr("speculative")},
+		"unknown mode":     {Mode: sptr("warp")},
+	}
+	for name, spec := range cases {
+		if _, err := spec.Params(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Zero particles is legal (a fluid-only run).
+	if _, err := (ParamsSpec{Particles: iptr(0)}).Params(); err != nil {
+		t.Errorf("particles 0 rejected: %v", err)
+	}
+}
+
+// TestParamsSpecJSONRoundTrip: the wire form decodes into the spec and
+// resolves, which is exactly the service's POST /jobs options path.
+func TestParamsSpecJSONRoundTrip(t *testing.T) {
+	var spec ParamsSpec
+	body := `{"ranks":24,"steps":2,"strategy":"atomics","dlb":false,"platforms":["MareNostrum4"]}`
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ranks != 24 || p.Steps != 2 || p.Strategy == nil || *p.Strategy != tasking.StrategyAtomic ||
+		p.DLB == nil || *p.DLB {
+		t.Fatalf("params = %+v", p)
+	}
+}
+
+// TestParseVocabulary: mode and strategy names accepted by both CLIs and
+// the service.
+func TestParseVocabulary(t *testing.T) {
+	for name, want := range map[string]tasking.Strategy{
+		"serial": tasking.StrategySerial, "atomics": tasking.StrategyAtomic,
+		"coloring": tasking.StrategyColoring, "multidep": tasking.StrategyMultidep,
+	} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseStrategy("Multidep"); err == nil || !strings.Contains(err.Error(), "multidep") {
+		t.Fatalf("unknown strategy error must list the vocabulary: %v", err)
+	}
+	for name, want := range map[string]coupling.Mode{
+		"sync": coupling.Synchronous, "synchronous": coupling.Synchronous, "coupled": coupling.Coupled,
+	} {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseMode("warp"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
