@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	_ "repro" // populate the default scenario registry
@@ -57,6 +58,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		platform = fs.String("platform", "", "restrict per-platform figures to one platform (MareNostrum4 or Thunder)")
 		width    = fs.Int("width", 100, "timeline width (trace scenarios)")
 		rows     = fs.Int("rows", 24, "timeline max rows (trace scenarios)")
+		inflow   = fs.String("inflow", "", "inlet waveform for measured scenarios: steady, breathing:<period>, or table:<t>=<s>,...")
+		sweepD   = fs.String("sweep-d", "", "comma-separated particle diameters in meters (sweep scenarios)")
+		sweepQ   = fs.String("sweep-q", "", "comma-separated inlet face speeds in m/s (sweep scenarios)")
+		sweepG   = fs.String("sweep-g", "", "comma-separated airway mesh generations (sweep scenarios)")
 		benchout = fs.String("benchout", "", "run the A/B micro-benchmarks and write machine-readable ns/op + allocs/op JSON to this file ('-' for stdout), then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,7 +84,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		var conflict string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "exp", "tags", "parallel", "progress", "platform", "width", "rows":
+			case "exp", "tags", "parallel", "progress", "platform", "width", "rows",
+				"inflow", "sweep-d", "sweep-q", "sweep-g":
 				conflict = f.Name
 			}
 		})
@@ -117,6 +123,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	})
 	if *platform != "" {
 		params.Platforms = []string{*platform}
+	}
+	if *inflow != "" {
+		w, err := scenario.ParseWaveform(*inflow)
+		if err != nil {
+			return err
+		}
+		params.Inflow = w
+	}
+	if *sweepD != "" {
+		ds, err := parseFloatList("sweep-d", *sweepD)
+		if err != nil {
+			return err
+		}
+		params.SweepDiameters = ds
+	}
+	if *sweepQ != "" {
+		qs, err := parseFloatList("sweep-q", *sweepQ)
+		if err != nil {
+			return err
+		}
+		params.SweepFlows = qs
+	}
+	if *sweepG != "" {
+		gs, err := parseIntList("sweep-g", *sweepG)
+		if err != nil {
+			return err
+		}
+		params.SweepGens = gs
 	}
 
 	runner := scenario.Runner{Parallel: *parallel}
@@ -168,6 +202,48 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%d of %d scenarios failed (first: %w)", len(results)-len(arts), len(results), firstErr)
 	}
 	return ctxErr
+}
+
+// parseFloatList parses a comma-separated list of positive floats for a
+// sweep-axis flag.
+func parseFloatList(name, s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || !(v > 0) {
+			return nil, fmt.Errorf("-%s: want positive numbers, got %q", name, f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", name)
+	}
+	return out, nil
+}
+
+// parseIntList parses a comma-separated list of positive ints for a
+// sweep-axis flag.
+func parseIntList(name, s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-%s: want positive integers, got %q", name, f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", name)
+	}
+	return out, nil
 }
 
 // selectScenarios resolves the -exp / -tags selection against the

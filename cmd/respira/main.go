@@ -8,12 +8,17 @@
 //	respira -ranks 8 -steps 5 -particles 2000
 //	respira -mode coupled -fluid 6 -parts 2 -dlb
 //	respira -strategy coloring -threads 2 -gens 3 -trace
+//	respira -inflow breathing:0.0008 -inject-every 1 -steps 4
+//	respira -sweep -sweep-d 2.5e-6,10e-6 -sweep-q 0.9,1.5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro"
 	"repro/internal/coupling"
@@ -33,6 +38,12 @@ func main() {
 	useDLB := flag.Bool("dlb", false, "enable dynamic load balancing")
 	ranksPerNode := flag.Int("ranks-per-node", 0, "ranks per node (0 = all on one node)")
 	showTrace := flag.Bool("trace", false, "print the phase timeline")
+	inflow := flag.String("inflow", "", "inlet waveform: steady, breathing:<period>, or table:<t>=<s>,... (empty = constant inflow)")
+	injectEvery := flag.Int("inject-every", 0, "re-release particles every k steps (0 = single step-0 bolus)")
+	sweep := flag.Bool("sweep", false, "run a dosage sweep (one simulation per grid point) instead of a single run")
+	sweepD := flag.String("sweep-d", "", "sweep axis: comma-separated particle diameters in meters (implies -sweep)")
+	sweepQ := flag.String("sweep-q", "", "sweep axis: comma-separated inlet face speeds in m/s (implies -sweep)")
+	sweepG := flag.String("sweep-g", "", "sweep axis: comma-separated mesh generations (implies -sweep)")
 	flag.Parse()
 
 	// Validate every flag before any simulation work: nonsensical counts
@@ -56,6 +67,7 @@ func main() {
 		{"threads", *threads, scenario.CheckPositive},
 		{"gens", *gens, scenario.CheckPositive},
 		{"ranks-per-node", *ranksPerNode, scenario.CheckNonNegative},
+		{"inject-every", *injectEvery, scenario.CheckNonNegative},
 	} {
 		if err := c.fn(c.name, c.v); err != nil {
 			usage(err)
@@ -68,6 +80,48 @@ func main() {
 	runStrategy, err := scenario.ParseStrategy(*strategy)
 	if err != nil {
 		usage(err)
+	}
+	var waveform scenario.Params
+	if *inflow != "" {
+		w, err := scenario.ParseWaveform(*inflow)
+		if err != nil {
+			usage(err)
+		}
+		waveform.Inflow = w
+	}
+
+	if *sweep || *sweepD != "" || *sweepQ != "" || *sweepG != "" {
+		// Sweep mode runs the registered "sweep" scenario: a grid of
+		// full simulations with per-point mesh/partition arena reuse.
+		// Only explicitly set flags override the sweep's per-point
+		// defaults (2 ranks, 2 steps, 400 particles per point).
+		p := waveform
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ranks":
+				p.Ranks = *ranks
+			case "steps":
+				p.Steps = *steps
+			case "particles":
+				p.Particles = *particles
+			case "threads":
+				p.Workers = *threads
+			}
+		})
+		if *sweepD != "" {
+			p.SweepDiameters = parseAxisFloats("sweep-d", *sweepD, usage)
+		}
+		if *sweepQ != "" {
+			p.SweepFlows = parseAxisFloats("sweep-q", *sweepQ, usage)
+		}
+		if *sweepG != "" {
+			p.SweepGens = parseAxisInts("sweep-g", *sweepG, usage)
+		}
+		if err := runDosageSweep(p); err != nil {
+			fmt.Fprintln(os.Stderr, "respira:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	cfg := repro.DefaultSimulationConfig()
@@ -96,6 +150,10 @@ func main() {
 		}
 	}
 	cfg.Run.NS.Strategy = runStrategy
+	if waveform.Inflow != nil {
+		cfg.Run.NS.Inflow = waveform.Inflow
+	}
+	cfg.Run.InjectEvery = *injectEvery
 
 	res, err := repro.RunSimulation(cfg)
 	if err != nil {
@@ -107,4 +165,65 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Result.Trace.Render(100, 24))
 	}
+}
+
+// runDosageSweep executes the registered "sweep" scenario with p and
+// prints its table.
+func runDosageSweep(p scenario.Params) error {
+	scs, err := scenario.Default.Select([]string{repro.ScenarioSweep})
+	if err != nil {
+		return err
+	}
+	r := &scenario.Runner{}
+	results, err := r.Run(context.Background(), scs, p)
+	if err != nil {
+		return err
+	}
+	if results[0].Err != nil {
+		return results[0].Err
+	}
+	fmt.Println(results[0].Artifact.Text())
+	return nil
+}
+
+// parseAxisFloats parses a comma-separated sweep axis of positive floats,
+// exiting through usage on a bad value.
+func parseAxisFloats(name, s string, usage func(error)) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || !(v > 0) {
+			usage(fmt.Errorf("-%s: want positive numbers, got %q", name, f))
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		usage(fmt.Errorf("-%s: empty list", name))
+	}
+	return out
+}
+
+// parseAxisInts parses a comma-separated sweep axis of positive ints,
+// exiting through usage on a bad value.
+func parseAxisInts(name, s string, usage func(error)) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			usage(fmt.Errorf("-%s: want positive integers, got %q", name, f))
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		usage(fmt.Errorf("-%s: empty list", name))
+	}
+	return out
 }

@@ -68,6 +68,18 @@ type RunConfig struct {
 	Species      particles.Props
 	Fluid        particles.FluidProps
 
+	// InjectEvery re-releases NumParticles at the inlet every k-th step
+	// (steps 0, k, 2k, ...), each release seeded Seed+step and launched
+	// with the waveform-scaled inlet velocity of that step — continuous
+	// dosing over a breathing cycle. 0 keeps the single step-0 bolus of
+	// the paper's runs.
+	InjectEvery int
+
+	// PartitionScratch, when set, reuses partitioning buffers across
+	// runs (sweeps build many partitions per process). Not safe for
+	// concurrent runs; nil allocates fresh.
+	PartitionScratch *partition.Scratch
+
 	NS   navierstokes.Config
 	Cost navierstokes.CostModel
 	// ParticleUnit is the virtual cost of advancing one particle one step.
@@ -194,14 +206,33 @@ func (sc *stepCanceller) err() error {
 	return nil
 }
 
-// buildPartition partitions m into k rank meshes with cost weights.
-func buildPartition(m *mesh.Mesh, k int) ([]*partition.RankMesh, error) {
+// buildPartition partitions m into k rank meshes, reusing scr's buffers
+// when the caller provided one (nil = fresh allocations, the one-shot
+// path).
+func buildPartition(m *mesh.Mesh, k int, scr *partition.Scratch) ([]*partition.RankMesh, error) {
+	if scr == nil {
+		scr = partition.NewScratch()
+	}
 	dual := m.DualByNode()
-	p, err := partition.KWay(dual, nil, k)
+	p, err := scr.KWay(dual, nil, k)
 	if err != nil {
 		return nil, err
 	}
-	return partition.BuildRankMeshes(m, p.Parts, k)
+	return scr.BuildRankMeshes(m, p.Parts, k)
+}
+
+// injectNow reports whether particles are released before the particle
+// phase of this step: always at step 0, and at every InjectEvery-th
+// step when continuous dosing is on.
+func (cfg *RunConfig) injectNow(step int) bool {
+	return step == 0 || (cfg.InjectEvery > 0 && step%cfg.InjectEvery == 0)
+}
+
+// simTimeAt is the simulation time the fluid has advanced to after
+// step (zero-based) completed: (step+1)*Dt, by multiplication so every
+// rank computes the identical float.
+func (cfg *RunConfig) simTimeAt(step int) float64 {
+	return float64(step+1) * cfg.NS.Props.Dt
 }
 
 // maxEventsPerStep bounds how many trace intervals one rank records per
@@ -260,7 +291,7 @@ func closePools(pools []*tasking.Pool) {
 // runSynchronous: all ranks do fluid then particles (Figure 3, top).
 func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 	n := cfg.FluidRanks
-	rms, err := buildPartition(m, n)
+	rms, err := buildPartition(m, n, cfg.PartitionScratch)
 	if err != nil {
 		return nil, err
 	}
@@ -301,8 +332,9 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 			if _, err := ns.Step(); err != nil {
 				panic(err)
 			}
-			if step == 0 {
-				injected[id] = particles.InjectAtInletCollective(r.Comm, tk, cfg.NumParticles, cfg.Seed, cfg.NS.InletVelocity)
+			if cfg.injectNow(step) {
+				injected[id] += particles.InjectAtInletCollectiveAt(r.Comm, tk, cfg.NumParticles, cfg.Seed, step,
+					cfg.NS.InletVelocityAt(cfg.simTimeAt(step)))
 			}
 			w0 := tk.WorkUnits
 			tk.Step(cfg.NS.Props.Dt, velAt)
@@ -382,11 +414,11 @@ func buildTransfer(fluidRMs, partRMs []*partition.RankMesh) *velocityTransfer {
 func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, error) {
 	f, p := cfg.FluidRanks, cfg.ParticleRanks
 	total := f + p
-	fluidRMs, err := buildPartition(m, f)
+	fluidRMs, err := buildPartition(m, f, cfg.PartitionScratch)
 	if err != nil {
 		return nil, err
 	}
-	partRMs, err := buildPartition(m, p)
+	partRMs, err := buildPartition(m, p, cfg.PartitionScratch)
 	if err != nil {
 		return nil, err
 	}
@@ -496,8 +528,9 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 				rb.Release()
 			}
 			tr.Ranks[id].AlignTo(senderClock + float64(shipped)*cfg.TransferUnit)
-			if step == 0 {
-				injected[id] = particles.InjectAtInletCollective(sub, tk, cfg.NumParticles, cfg.Seed, cfg.NS.InletVelocity)
+			if cfg.injectNow(step) {
+				injected[id] += particles.InjectAtInletCollectiveAt(sub, tk, cfg.NumParticles, cfg.Seed, step,
+					cfg.NS.InletVelocityAt(cfg.simTimeAt(step)))
 			}
 			w0 := tk.WorkUnits
 			tk.Step(cfg.NS.Props.Dt, velAt)

@@ -183,7 +183,7 @@ func (o *ParOps) Range(n int, body func(lo, hi int)) {
 func DotChunked(x, y []float64) float64 {
 	s := 0.0
 	for lo := 0; lo < len(x); lo += reductionChunk {
-		s += dotRange(x, y, lo, minInt(lo+reductionChunk, len(x)))
+		s += dotRange(x, y, lo, min(lo+reductionChunk, len(x)))
 	}
 	return s
 }
@@ -192,7 +192,7 @@ func DotChunked(x, y []float64) float64 {
 func MaskedDotChunked(mask []bool, x, y []float64) float64 {
 	s := 0.0
 	for lo := 0; lo < len(x); lo += reductionChunk {
-		s += maskedDotRange(mask, x, y, lo, minInt(lo+reductionChunk, len(x)))
+		s += maskedDotRange(mask, x, y, lo, min(lo+reductionChunk, len(x)))
 	}
 	return s
 }
@@ -231,11 +231,4 @@ func axpyRange(alpha float64, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		y[i] += alpha * x[i]
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -97,31 +97,146 @@ type segment struct {
 	wallOffset int // index of outermost ring within a section slice
 }
 
-// GenerateAirway builds the hybrid airway mesh described by cfg.
+// GenerateAirway builds the hybrid airway mesh described by cfg. It is
+// the one-shot form of Builder.GenerateAirway: a fresh Builder per call,
+// so the returned mesh is never invalidated. Sweeps generating many
+// meshes per process should hold a Builder instead.
 func GenerateAirway(cfg AirwayConfig) (*Mesh, error) {
+	return NewBuilder().GenerateAirway(cfg)
+}
+
+func validateAirwayConfig(cfg AirwayConfig) error {
 	if cfg.Generations < 0 {
-		return nil, fmt.Errorf("mesh: Generations must be >= 0, got %d", cfg.Generations)
+		return fmt.Errorf("mesh: Generations must be >= 0, got %d", cfg.Generations)
 	}
 	if cfg.NTheta < 6 {
-		return nil, fmt.Errorf("mesh: NTheta must be >= 6, got %d", cfg.NTheta)
+		return fmt.Errorf("mesh: NTheta must be >= 6, got %d", cfg.NTheta)
 	}
 	if cfg.NRadial < 1 {
-		return nil, fmt.Errorf("mesh: NRadial must be >= 1, got %d", cfg.NRadial)
+		return fmt.Errorf("mesh: NRadial must be >= 1, got %d", cfg.NRadial)
 	}
 	if cfg.NBoundaryLayers < 2 {
-		return nil, fmt.Errorf("mesh: NBoundaryLayers must be >= 2, got %d", cfg.NBoundaryLayers)
+		return fmt.Errorf("mesh: NBoundaryLayers must be >= 2, got %d", cfg.NBoundaryLayers)
 	}
 	if cfg.NAxial < 2 {
-		return nil, fmt.Errorf("mesh: NAxial must be >= 2, got %d", cfg.NAxial)
+		return fmt.Errorf("mesh: NAxial must be >= 2, got %d", cfg.NAxial)
 	}
 	if cfg.RadiusRatio <= 0 || cfg.RadiusRatio >= 1 || cfg.LengthRatio <= 0 || cfg.LengthRatio > 1 {
-		return nil, fmt.Errorf("mesh: homothety ratios out of range (r=%g l=%g)", cfg.RadiusRatio, cfg.LengthRatio)
+		return fmt.Errorf("mesh: homothety ratios out of range (r=%g l=%g)", cfg.RadiusRatio, cfg.LengthRatio)
 	}
 	if cfg.Jitter < 0 || cfg.Jitter > 0.05 {
-		return nil, fmt.Errorf("mesh: Jitter must be in [0, 0.05], got %g", cfg.Jitter)
+		return fmt.Errorf("mesh: Jitter must be in [0, 0.05], got %g", cfg.Jitter)
 	}
+	return nil
+}
 
-	g := &airwayGen{cfg: cfg, b: newBuilder(), rng: rand.New(rand.NewSource(cfg.Seed))}
+// Builder is a reusable mesh-generation arena. One Builder generates
+// many meshes back to back — the sweep workload — reusing every
+// internal buffer: the node/element accumulator, the segment tree, the
+// cross-section node-id storage, and the boundary bookkeeping. After a
+// warmup generation at a given config size, subsequent generations
+// allocate (almost) nothing.
+//
+// The returned mesh aliases the Builder's buffers: the NEXT
+// GenerateAirway (on the same Builder) invalidates it, including
+// overwriting the *Mesh header itself. Callers must finish with one
+// mesh before generating the next, or use the package-level
+// GenerateAirway, which dedicates a Builder per call. A Builder is not
+// safe for concurrent use. Results are bit-identical to the package
+// function's for the same config — buffer reuse changes no node id,
+// element order, or coordinate.
+type Builder struct {
+	cfg AirwayConfig
+	b   *builder
+	rng *rand.Rand
+
+	// Segment-tree arena: sized up front per config (pointers into segs
+	// are handed out, so mid-build growth is forbidden), with per-slot
+	// children capacity recycled across generations.
+	segs []segment
+	nseg int
+	// Cross-section scratch: the per-segment section table and the flat
+	// node-id arena its windows point into. Completed windows are
+	// read-only, so an arena grow (fresh backing) leaves them valid.
+	sections [][]int32
+	secIDs   []int32
+	radii    []float64
+
+	inletNodes  []int32
+	outletNodes []int32
+	wallNodes   []int32
+
+	out Mesh
+}
+
+// NewBuilder returns an empty Builder; buffers grow on first use.
+func NewBuilder() *Builder {
+	return &Builder{b: newBuilder()}
+}
+
+// segmentCount is the exact number of tree segments cfg generates: a
+// full binary tree of generations 0..Generations plus the optional
+// funnel. Deterministic up-front sizing is what lets the segment arena
+// hand out stable pointers.
+func segmentCount(cfg AirwayConfig) int {
+	n := (1 << (cfg.Generations + 1)) - 1
+	if cfg.WithInletFunnel {
+		n++
+	}
+	return n
+}
+
+// reset rewinds every arena for a new generation of cfg.
+func (g *Builder) reset(cfg AirwayConfig) {
+	g.cfg = cfg
+	g.b.reset()
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		g.rng.Seed(cfg.Seed)
+	}
+	if need := segmentCount(cfg); cap(g.segs) < need {
+		g.segs = make([]segment, need)
+	} else {
+		g.segs = g.segs[:need]
+	}
+	g.nseg = 0
+	g.secIDs = g.secIDs[:0]
+	g.inletNodes = g.inletNodes[:0]
+	g.outletNodes = g.outletNodes[:0]
+	g.wallNodes = g.wallNodes[:0]
+}
+
+// newSegment hands out the next arena slot, cleared but keeping its
+// children slice capacity.
+func (g *Builder) newSegment() *segment {
+	s := &g.segs[g.nseg]
+	g.nseg++
+	*s = segment{children: s.children[:0]}
+	return s
+}
+
+// allocSection reserves an n-id window in the section arena. When the
+// arena is out of capacity it switches to a fresh backing array:
+// already-completed windows keep the old array alive and stay valid,
+// because a section is never written again once filled.
+func (g *Builder) allocSection(n int) []int32 {
+	if len(g.secIDs)+n > cap(g.secIDs) {
+		g.secIDs = make([]int32, 0, 2*cap(g.secIDs)+n)
+	}
+	w := g.secIDs[len(g.secIDs) : len(g.secIDs)+n]
+	g.secIDs = g.secIDs[:len(g.secIDs)+n]
+	return w
+}
+
+// GenerateAirway builds the hybrid airway mesh described by cfg,
+// reusing the Builder's buffers. See the Builder doc for the aliasing
+// contract.
+func (g *Builder) GenerateAirway(cfg AirwayConfig) (*Mesh, error) {
+	if err := validateAirwayConfig(cfg); err != nil {
+		return nil, err
+	}
+	g.reset(cfg)
 
 	// Build the segment tree.
 	root := g.buildTree()
@@ -130,52 +245,40 @@ func GenerateAirway(cfg AirwayConfig) (*Mesh, error) {
 	g.meshSegmentTree(root)
 	g.connectTree(root)
 
-	m := g.b.mesh()
-	m.InletNodes = g.inletNodes
-	m.OutletNodes = g.outletNodes
-	m.WallNodes = g.wallNodes
-	return m, nil
-}
-
-type airwayGen struct {
-	cfg AirwayConfig
-	b   *builder
-	rng *rand.Rand
-
-	inletNodes  []int32
-	outletNodes []int32
-	wallNodes   []int32
+	g.out = Mesh{
+		Coords: g.b.coords, Kinds: g.b.kinds, Ptr: g.b.ptr, Conn: g.b.conn,
+		InletNodes:  g.inletNodes,
+		OutletNodes: g.outletNodes,
+		WallNodes:   g.wallNodes,
+	}
+	return &g.out, nil
 }
 
 // buildTree lays out segment geometry (origins, frames, radii) without
 // creating nodes yet.
-func (g *airwayGen) buildTree() *segment {
+func (g *Builder) buildTree() *segment {
 	cfg := g.cfg
 	down := Vec3{0, 0, -1} // airways run downward from the face
 	e1 := Vec3{1, 0, 0}
 	e2 := Vec3{0, 1, 0}
 
 	var root *segment
-	trachea := &segment{
-		dir: down, e1: e1, e2: e2,
-		length: cfg.TracheaLength,
-		r0:     cfg.TracheaRadius, r1: cfg.TracheaRadius,
-		gen: 0,
-		nz:  cfg.NAxial,
-	}
+	trachea := g.newSegment()
+	trachea.dir, trachea.e1, trachea.e2 = down, e1, e2
+	trachea.length = cfg.TracheaLength
+	trachea.r0, trachea.r1 = cfg.TracheaRadius, cfg.TracheaRadius
+	trachea.gen = 0
+	trachea.nz = cfg.NAxial
 	if cfg.WithInletFunnel {
-		funnel := &segment{
-			origin: Vec3{0, 0, cfg.TracheaLength * 0.45},
-			dir:    down, e1: e1, e2: e2,
-			length: cfg.TracheaLength * 0.45,
-			r0:     cfg.TracheaRadius * 1.8, // wide at the face
-			r1:     cfg.TracheaRadius,
-			gen:    -1,
-			nz:     maxInt(2, cfg.NAxial/2),
-			children: []*segment{
-				trachea,
-			},
-		}
+		funnel := g.newSegment()
+		funnel.origin = Vec3{0, 0, cfg.TracheaLength * 0.45}
+		funnel.dir, funnel.e1, funnel.e2 = down, e1, e2
+		funnel.length = cfg.TracheaLength * 0.45
+		funnel.r0 = cfg.TracheaRadius * 1.8 // wide at the face
+		funnel.r1 = cfg.TracheaRadius
+		funnel.gen = -1
+		funnel.nz = max(2, cfg.NAxial/2)
+		funnel.children = append(funnel.children, trachea)
 		// Leave a short gap below the funnel for the junction sleeve;
 		// coincident cross-sections would produce degenerate tets.
 		trachea.origin = Vec3{0, 0, -0.35 * cfg.TracheaRadius}
@@ -190,7 +293,7 @@ func (g *airwayGen) buildTree() *segment {
 }
 
 // grow recursively attaches two children to s until cfg.Generations.
-func (g *airwayGen) grow(s *segment) {
+func (g *Builder) grow(s *segment) {
 	if s.gen >= g.cfg.Generations {
 		s.isLeaf = true
 		return
@@ -219,14 +322,13 @@ func (g *airwayGen) grow(s *segment) {
 			ce1 = perpendicular(dir)
 		}
 		ce2 := dir.Cross(ce1).Normalize()
-		child := &segment{
-			origin: end.Add(dir.Scale(0.35 * s.r1)),
-			dir:    dir, e1: ce1, e2: ce2,
-			length: childL,
-			r0:     childR, r1: childR,
-			gen: s.gen + 1,
-			nz:  maxInt(2, int(math.Round(float64(cfg.NAxial)*childL/cfg.TracheaLength))),
-		}
+		child := g.newSegment()
+		child.origin = end.Add(dir.Scale(0.35 * s.r1))
+		child.dir, child.e1, child.e2 = dir, ce1, ce2
+		child.length = childL
+		child.r0, child.r1 = childR, childR
+		child.gen = s.gen + 1
+		child.nz = max(2, int(math.Round(float64(cfg.NAxial)*childL/cfg.TracheaLength)))
 		s.children = append(s.children, child)
 		g.grow(child)
 	}
@@ -246,21 +348,17 @@ func perpendicular(d Vec3) Vec3 {
 	return d.Cross(Vec3{0, 1, 0}).Normalize()
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // ringRadii returns the radius of every node ring (1..nRings) for a
-// cross-section of wall radius R. Core rings are uniform to 0.65R; the
-// wall-side rings are graded so spacing shrinks toward the wall (boundary
-// layer resolution).
-func (g *airwayGen) ringRadii(R float64) []float64 {
+// cross-section of wall radius R, in a scratch slice overwritten by the
+// next call. Core rings are uniform to 0.65R; the wall-side rings are
+// graded so spacing shrinks toward the wall (boundary layer resolution).
+func (g *Builder) ringRadii(R float64) []float64 {
 	nr, nbl := g.cfg.NRadial, g.cfg.NBoundaryLayers
 	rcore := 0.65 * R
-	radii := make([]float64, nr+nbl)
+	if cap(g.radii) < nr+nbl {
+		g.radii = make([]float64, nr+nbl)
+	}
+	radii := g.radii[:nr+nbl]
 	for r := 1; r <= nr; r++ {
 		radii[r-1] = rcore * float64(r) / float64(nr)
 	}
@@ -273,10 +371,10 @@ func (g *airwayGen) ringRadii(R float64) []float64 {
 
 // sectionNodes creates the nodes of one cross-section and returns their
 // ids: index 0 is the center, ring r node i is at 1+(r-1)*NTheta+i.
-func (g *airwayGen) sectionNodes(center Vec3, e1, e2 Vec3, R float64, jitterOK bool) []int32 {
+func (g *Builder) sectionNodes(center Vec3, e1, e2 Vec3, R float64, jitterOK bool) []int32 {
 	nTheta := g.cfg.NTheta
 	radii := g.ringRadii(R)
-	ids := make([]int32, 1+len(radii)*nTheta)
+	ids := g.allocSection(1 + len(radii)*nTheta)
 	ids[0] = g.b.addNode(center)
 	nRings := len(radii)
 	for r := 1; r <= nRings; r++ {
@@ -300,7 +398,7 @@ func (g *airwayGen) sectionNodes(center Vec3, e1, e2 Vec3, R float64, jitterOK b
 }
 
 // meshSegmentTree creates nodes and elements for every segment.
-func (g *airwayGen) meshSegmentTree(root *segment) {
+func (g *Builder) meshSegmentTree(root *segment) {
 	g.meshSegment(root)
 	for _, c := range root.children {
 		g.meshSegmentTree(c)
@@ -308,14 +406,20 @@ func (g *airwayGen) meshSegmentTree(root *segment) {
 }
 
 // meshSegment builds one tube: nz+1 cross-sections and the cells between.
-func (g *airwayGen) meshSegment(s *segment) {
+func (g *Builder) meshSegment(s *segment) {
 	cfg := g.cfg
 	nTheta := cfg.NTheta
 	nr, nbl := cfg.NRadial, cfg.NBoundaryLayers
 	nRings := nr + nbl
 	s.wallOffset = nRings
 
-	sections := make([][]int32, s.nz+1)
+	// The section table is per-segment scratch; the windows it holds
+	// live in the section arena, so only firstSec/lastSec (needed for
+	// junctions) outlive this call.
+	if cap(g.sections) < s.nz+1 {
+		g.sections = make([][]int32, s.nz+1)
+	}
+	sections := g.sections[:s.nz+1]
 	for k := 0; k <= s.nz; k++ {
 		t := float64(k) / float64(s.nz)
 		center := s.origin.Add(s.dir.Scale(s.length * t))
@@ -388,7 +492,7 @@ func (g *airwayGen) meshSegment(s *segment) {
 
 // wedgeToTets splits the wedge (a0,a1,a2 bottom; b0,b1,b2 top) into three
 // tetrahedra with orientation fixes.
-func (g *airwayGen) wedgeToTets(a0, a1, a2, b0, b1, b2 int32) {
+func (g *Builder) wedgeToTets(a0, a1, a2, b0, b1, b2 int32) {
 	g.b.addTet(a0, a1, a2, b0)
 	g.b.addTet(a1, a2, b0, b1)
 	g.b.addTet(a2, b0, b1, b2)
@@ -397,7 +501,7 @@ func (g *airwayGen) wedgeToTets(a0, a1, a2, b0, b1, b2 int32) {
 // wedgeToPyramidTet splits the wedge into one pyramid and one tet: the
 // pyramid takes the lateral quad face (a1,a2,b2,b1) as base with apex a0;
 // the remaining tet is (a0,b1,b2,b0).
-func (g *airwayGen) wedgeToPyramidTet(a0, a1, a2, b0, b1, b2 int32) {
+func (g *Builder) wedgeToPyramidTet(a0, a1, a2, b0, b1, b2 int32) {
 	g.b.addElem(Pyramid5, a1, a2, b2, b1, a0)
 	g.b.addTet(a0, b1, b2, b0)
 }
@@ -406,14 +510,14 @@ func (g *airwayGen) wedgeToPyramidTet(a0, a1, a2, b0, b1, b2 int32) {
 // cross-section with a sleeve of tetrahedra around the wall rings plus a
 // junction hub node, keeping the global node graph connected through
 // bifurcations.
-func (g *airwayGen) connectTree(s *segment) {
+func (g *Builder) connectTree(s *segment) {
 	for _, c := range s.children {
 		g.connectJunction(s, c)
 		g.connectTree(c)
 	}
 }
 
-func (g *airwayGen) connectJunction(parent, child *segment) {
+func (g *Builder) connectJunction(parent, child *segment) {
 	nTheta := g.cfg.NTheta
 	nRings := parent.wallOffset
 	pWall := func(i int) int32 {

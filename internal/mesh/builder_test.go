@@ -1,0 +1,84 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+)
+
+// builderTestConfigs covers different arena shapes: growing, shrinking,
+// funnel on/off, jitter on/off.
+func builderTestConfigs() []AirwayConfig {
+	small := DefaultAirwayConfig()
+	small.Generations = 2
+	small.NTheta = 8
+	small.NAxial = 4
+
+	bigger := small
+	bigger.Generations = 3
+
+	noFunnel := small
+	noFunnel.WithInletFunnel = false
+
+	jittered := small
+	jittered.Jitter = 0.02
+	jittered.Seed = 7
+
+	return []AirwayConfig{small, bigger, noFunnel, jittered, small}
+}
+
+func TestBuilderMatchesPackageFunction(t *testing.T) {
+	// One Builder across many configs must produce meshes bit-identical
+	// to a fresh GenerateAirway per config: arena reuse may change no
+	// node id, element order, or coordinate. The final config repeats
+	// the first, so reuse after both growth and shrink is covered.
+	b := NewBuilder()
+	for i, cfg := range builderTestConfigs() {
+		fresh, err := GenerateAirway(cfg)
+		if err != nil {
+			t.Fatalf("config %d: GenerateAirway: %v", i, err)
+		}
+		reused, err := b.GenerateAirway(cfg)
+		if err != nil {
+			t.Fatalf("config %d: Builder.GenerateAirway: %v", i, err)
+		}
+		if !reflect.DeepEqual(*fresh, *reused) {
+			t.Fatalf("config %d: Builder mesh differs from package-function mesh", i)
+		}
+	}
+}
+
+func TestBuilderRejectsBadConfig(t *testing.T) {
+	b := NewBuilder()
+	bad := DefaultAirwayConfig()
+	bad.NTheta = 3
+	if _, err := b.GenerateAirway(bad); err == nil {
+		t.Fatal("want error for NTheta=3")
+	}
+	// The builder must stay usable after a rejected config.
+	if _, err := b.GenerateAirway(DefaultAirwayConfig()); err != nil {
+		t.Fatalf("builder unusable after rejected config: %v", err)
+	}
+}
+
+func TestBuilderSteadyStateAllocs(t *testing.T) {
+	// After a warmup generation at a given config, regenerating the same
+	// config must not allocate: this is the property that makes sweeps
+	// (many meshes per process) cheap. AllocsPerRun itself performs a
+	// warmup run before measuring.
+	cfg := DefaultAirwayConfig()
+	cfg.Generations = 2
+	cfg.NTheta = 8
+	cfg.NAxial = 4
+	b := NewBuilder()
+	if _, err := b.GenerateAirway(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := b.GenerateAirway(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state Builder.GenerateAirway allocates %.0f times per run, want <= 1", allocs)
+	}
+}

@@ -44,7 +44,12 @@ type Config struct {
 	// Keying selects the mutexinoutset key construction.
 	Keying tasking.MutexKeying
 
+	// InletVelocity is the peak inlet Dirichlet velocity. Inflow scales
+	// it over simulation time (nil = constant inflow, the pre-waveform
+	// behaviour, bit-identical to SteadyWaveform but without the
+	// multiply). See InletVelocityAt.
 	InletVelocity mesh.Vec3
+	Inflow        Waveform
 
 	TolMomentum, TolPressure         float64
 	MaxIterMomentum, MaxIterPressure int
@@ -129,6 +134,11 @@ type Solver struct {
 	dirichlet []bool  // union mask for velocity BCs
 	isDirP    []bool  // pressure BC mask
 	tagSeq    int
+	// stepIndex counts completed steps; step k advances the flow to
+	// simulation time (k+1)*Dt, where the inlet waveform is evaluated.
+	// Multiplication (not accumulation) keeps the time drift-free and
+	// identical on every rank.
+	stepIndex int
 	numWeight float64 // sum of element cost weights (assembly work)
 	ownedNNZ  float64 // matrix nonzeros in owned rows (solver work)
 	scratch   sync.Pool

@@ -174,8 +174,11 @@ func (s *Solver) buildStepClosures() {
 
 // assembleMomentum rebuilds the momentum matrix and the three RHS vectors
 // with the configured strategy, then applies halo sums and boundary
-// conditions.
-func (s *Solver) assembleMomentum() error {
+// conditions. The inlet Dirichlet value is re-evaluated from the inflow
+// waveform at time t every call — the time-dependent BC rides the
+// existing per-step row rewrite, so neither the constant-L
+// preconditioner nor the compiled assembly plans are touched.
+func (s *Solver) assembleMomentum(t float64) error {
 	n := s.RM.NumLocalNodes()
 	s.A.Zero()
 	for c := 0; c < 3; c++ {
@@ -204,7 +207,8 @@ func (s *Solver) assembleMomentum() error {
 	for c := 0; c < 3; c++ {
 		s.haloSum(s.rhs[c])
 	}
-	inlet := [3]float64{s.Cfg.InletVelocity.X, s.Cfg.InletVelocity.Y, s.Cfg.InletVelocity.Z}
+	inletVel := s.Cfg.InletVelocityAt(t)
+	inlet := [3]float64{inletVel.X, inletVel.Y, inletVel.Z}
 	applyRow := func(ln int32, val [3]float64) {
 		s.A.SetDirichletRow(ln)
 		// Diagonal gets the rank share invMult = 1/m: the halo sum adds
@@ -226,6 +230,12 @@ func (s *Solver) assembleMomentum() error {
 	return nil
 }
 
+// SimTime reports the simulation time the solver has advanced to:
+// completed steps times Dt.
+func (s *Solver) SimTime() float64 {
+	return float64(s.stepIndex) * s.Cfg.Props.Dt
+}
+
 // Step advances the flow one time step through the four profiled phases.
 func (s *Solver) Step() (StepStats, error) {
 	var stats StepStats
@@ -233,8 +243,12 @@ func (s *Solver) Step() (StepStats, error) {
 		copy(s.Uold[c], s.U[c])
 	}
 
+	// The step advances the flow to tNew; the inlet waveform (an
+	// implicit BC) is evaluated there.
+	tNew := float64(s.stepIndex+1) * s.Cfg.Props.Dt
+
 	// --- Phase: matrix assembly ---
-	if err := s.assembleMomentum(); err != nil {
+	if err := s.assembleMomentum(tNew); err != nil {
 		return stats, err
 	}
 	s.advance(trace.PhaseAssembly, s.numWeight*s.Cost.AssemblyUnit)
@@ -281,13 +295,15 @@ func (s *Solver) Step() (StepStats, error) {
 	}
 	s.advance(trace.PhaseSGS, s.numWeight*s.Cost.SGSUnit)
 
+	s.stepIndex++
 	return stats, nil
 }
 
 // AssembleMomentumForBenchmark exposes the assembly phase alone so that
-// host-native benchmarks can race the strategies on real hardware.
+// host-native benchmarks can race the strategies on real hardware. The
+// inlet is evaluated at the next step's time, as Step would.
 func (s *Solver) AssembleMomentumForBenchmark() error {
-	return s.assembleMomentum()
+	return s.assembleMomentum(float64(s.stepIndex+1) * s.Cfg.Props.Dt)
 }
 
 // assemblePressureRHS computes -(rho/dt) * div(u*) weakly. Its cost is

@@ -2,7 +2,6 @@ package partition
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mesh"
@@ -56,94 +55,11 @@ func (rm *RankMesh) ElemNodesLocal(e int) []int32 {
 }
 
 // BuildRankMeshes splits mesh m into k per-rank views according to the
-// element partition parts (element -> rank).
+// element partition parts (element -> rank). It is the one-shot form of
+// Scratch.BuildRankMeshes (identical results); repeated callers should
+// hold a Scratch to reuse the intermediate tables.
 func BuildRankMeshes(m *mesh.Mesh, parts []int32, k int) ([]*RankMesh, error) {
-	if len(parts) != m.NumElems() {
-		return nil, fmt.Errorf("partition: %d part labels for %d elements", len(parts), m.NumElems())
-	}
-	nn := m.NumNodes()
-
-	// Which ranks touch each node (ranks are few per node; small slices).
-	touch := make([][]int32, nn)
-	for e := 0; e < m.NumElems(); e++ {
-		r := parts[e]
-		for _, nd := range m.ElemNodes(e) {
-			if !containsPart(touch[nd], r) {
-				touch[nd] = append(touch[nd], r)
-			}
-		}
-	}
-	for nd := range touch {
-		sort.Slice(touch[nd], func(i, j int) bool { return touch[nd][i] < touch[nd][j] })
-	}
-
-	rms := make([]*RankMesh, k)
-	for r := 0; r < k; r++ {
-		rms[r] = &RankMesh{Rank: r}
-	}
-	for e := 0; e < m.NumElems(); e++ {
-		rms[parts[e]].Elems = append(rms[parts[e]].Elems, int32(e))
-	}
-
-	for r := 0; r < k; r++ {
-		rm := rms[r]
-		// Collect local nodes (ascending global id for determinism).
-		seen := make(map[int32]bool)
-		for _, e := range rm.Elems {
-			for _, nd := range m.ElemNodes(int(e)) {
-				seen[nd] = true
-			}
-		}
-		rm.GlobalNode = make([]int32, 0, len(seen))
-		for nd := range seen {
-			rm.GlobalNode = append(rm.GlobalNode, nd)
-		}
-		sort.Slice(rm.GlobalNode, func(i, j int) bool { return rm.GlobalNode[i] < rm.GlobalNode[j] })
-		rm.LocalNode = make([]int32, nn)
-		for i := range rm.LocalNode {
-			rm.LocalNode[i] = -1
-		}
-		for i, g := range rm.GlobalNode {
-			rm.LocalNode[g] = int32(i)
-		}
-
-		// Ownership and halos.
-		rm.Owned = make([]bool, len(rm.GlobalNode))
-		haloNodes := map[int32][]int32{} // peer -> local node indices
-		for i, g := range rm.GlobalNode {
-			ranks := touch[g]
-			if len(ranks) > 0 && ranks[0] == int32(r) {
-				rm.Owned[i] = true
-				rm.NumOwned++
-			}
-			for _, other := range ranks {
-				if other != int32(r) {
-					haloNodes[other] = append(haloNodes[other], int32(i))
-				}
-			}
-		}
-		peers := make([]int32, 0, len(haloNodes))
-		for p := range haloNodes {
-			peers = append(peers, p)
-		}
-		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
-		for _, p := range peers {
-			// haloNodes entries are already ascending-local, which is
-			// ascending-global because GlobalNode is sorted.
-			rm.Halos = append(rm.Halos, Halo{Peer: int(p), Nodes: haloNodes[p]})
-		}
-
-		// Local connectivity.
-		rm.LocalPtr = make([]int32, 1, len(rm.Elems)+1)
-		for _, e := range rm.Elems {
-			rm.Kinds = append(rm.Kinds, m.Kinds[e])
-			for _, nd := range m.ElemNodes(int(e)) {
-				rm.LocalConn = append(rm.LocalConn, rm.LocalNode[nd])
-			}
-			rm.LocalPtr = append(rm.LocalPtr, int32(len(rm.LocalConn)))
-		}
-	}
-	return rms, nil
+	return NewScratch().BuildRankMeshes(m, parts, k)
 }
 
 // Validate checks cross-rank invariants: each global node owned exactly

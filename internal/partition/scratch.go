@@ -1,0 +1,286 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mesh"
+)
+
+// Scratch holds the reusable intermediate buffers of KWay and
+// BuildRankMeshes. A sweep builds a partition per point — dozens per
+// process — and the one-shot implementations spend most of their
+// allocations on throwaway structures (the node-touch lists, the
+// per-rank seen/halo maps, the BFS bookkeeping). A Scratch keeps those
+// across calls; only the returned results are freshly allocated, so
+// callers may retain them for the whole run as before.
+//
+// Outputs are bit-identical to the package-level KWay/BuildRankMeshes
+// (which delegate to a fresh Scratch): the goldens pin partitions, so
+// buffer reuse must not change a single assignment or halo ordering.
+//
+// A Scratch is not safe for concurrent use; the zero value is not
+// usable — call NewScratch.
+type Scratch struct {
+	// KWay: BFS traversal bookkeeping and refine's candidate list.
+	order   []int32
+	visited []bool
+	uniform []float64
+	cand    []int32
+
+	// BuildRankMeshes: CSR node->touching-ranks table (replacing the
+	// per-node append slices) and the per-peer halo counters.
+	touchPtr []int32 // node -> offset into touchBuf (nn+1)
+	touchCnt []int32 // node -> deduped rank count
+	touchBuf []int32 // rank ids, sorted ascending per node window
+	peerCnt  []int32 // per-rank halo node counts (k)
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use and
+// are kept for subsequent calls.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// growInt32 resizes buf to n, reusing its backing array when possible.
+// Contents are unspecified.
+func growInt32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// KWay is the scratch-reusing form of the package-level KWay: same
+// algorithm, same result, but the traversal order, visited marks and
+// refinement candidate buffers persist across calls. The returned
+// Partition is freshly allocated and owned by the caller.
+func (s *Scratch) KWay(dual *graph.CSR, weights []float64, k int) (*Partition, error) {
+	n := dual.NumVertices()
+	if k <= 0 {
+		return nil, fmt.Errorf("partition: k must be positive, got %d", k)
+	}
+	if weights == nil {
+		if cap(s.uniform) < n {
+			s.uniform = make([]float64, n)
+		}
+		s.uniform = s.uniform[:n]
+		for i := range s.uniform {
+			s.uniform[i] = 1
+		}
+		weights = s.uniform
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("partition: %d weights for %d vertices", len(weights), n)
+	}
+	if k >= n {
+		// Degenerate: one vertex per part (some parts empty).
+		p := &Partition{Parts: make([]int32, n), K: k, Loads: make([]float64, k)}
+		for v := 0; v < n; v++ {
+			p.Parts[v] = int32(v % k)
+			p.Loads[v%k] += weights[v]
+		}
+		return p, nil
+	}
+
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	target := total / float64(k)
+
+	// Base assignment: traverse the graph in BFS order from a
+	// pseudo-peripheral vertex (appending any disconnected components)
+	// and cut the order into k weight-balanced contiguous chunks. BFS
+	// layers are geometrically contiguous, so the chunks are compact on
+	// mesh dual graphs, and the balance is guaranteed by construction —
+	// greedy region growing can strand fragments on the last part, which
+	// this scheme cannot.
+	parts := make([]int32, n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	loads := make([]float64, k)
+
+	order := growInt32(&s.order, n)[:0]
+	if cap(s.visited) < n {
+		s.visited = make([]bool, n)
+	}
+	visited := s.visited[:n]
+	for i := range visited {
+		visited[i] = false
+	}
+	for v := 0; v < n; v++ {
+		if visited[v] {
+			continue
+		}
+		seed := dual.PseudoPeripheral(v)
+		if visited[seed] {
+			seed = v
+		}
+		bfsOrder, _ := dual.BFS(seed)
+		for _, w := range bfsOrder {
+			if !visited[w] {
+				visited[w] = true
+				order = append(order, w)
+			}
+		}
+		if !visited[v] {
+			visited[v] = true
+			order = append(order, int32(v))
+		}
+	}
+	s.order = order
+
+	part := 0
+	for _, v := range order {
+		// Close the current chunk when it reached its share and parts
+		// remain for the rest of the order.
+		if part < k-1 && loads[part]+weights[v]/2 >= target {
+			part++
+		}
+		parts[v] = int32(part)
+		loads[part] += weights[v]
+	}
+
+	p := &Partition{Parts: parts, K: k, Loads: loads}
+	refine(dual, weights, p, 8, &s.cand)
+	return p, nil
+}
+
+// BuildRankMeshes is the scratch-reusing form of the package-level
+// BuildRankMeshes: same per-rank views, but the node->touching-ranks
+// table is a reused CSR instead of nn little slices, local node
+// collection scans that table in global order instead of sorting a map,
+// and halo lists are grouped by counting instead of a per-peer map.
+// The returned RankMeshes are freshly allocated and caller-owned.
+func (s *Scratch) BuildRankMeshes(m *mesh.Mesh, parts []int32, k int) ([]*RankMesh, error) {
+	if len(parts) != m.NumElems() {
+		return nil, fmt.Errorf("partition: %d part labels for %d elements", len(parts), m.NumElems())
+	}
+	nn := m.NumNodes()
+
+	// Node -> touching ranks as a CSR window per node: offsets sized by
+	// the (element, node) incidence upper bound, then deduped in place
+	// and insertion-sorted (a node touches very few ranks).
+	cnt := growInt32(&s.touchCnt, nn)
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for e := 0; e < m.NumElems(); e++ {
+		for _, nd := range m.ElemNodes(e) {
+			cnt[nd]++
+		}
+	}
+	ptr := growInt32(&s.touchPtr, nn+1)
+	ptr[0] = 0
+	for i := 0; i < nn; i++ {
+		ptr[i+1] = ptr[i] + cnt[i]
+	}
+	buf := growInt32(&s.touchBuf, int(ptr[nn]))
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for e := 0; e < m.NumElems(); e++ {
+		r := parts[e]
+		for _, nd := range m.ElemNodes(e) {
+			w := buf[ptr[nd] : ptr[nd]+cnt[nd]]
+			if !containsPart(w, r) {
+				buf[ptr[nd]+cnt[nd]] = r
+				cnt[nd]++
+			}
+		}
+	}
+	for nd := 0; nd < nn; nd++ {
+		w := buf[ptr[nd] : ptr[nd]+cnt[nd]]
+		for i := 1; i < len(w); i++ { // insertion sort: windows are tiny
+			for j := i; j > 0 && w[j] < w[j-1]; j-- {
+				w[j], w[j-1] = w[j-1], w[j]
+			}
+		}
+	}
+	touch := func(nd int32) []int32 {
+		return buf[ptr[nd] : ptr[nd]+cnt[nd]]
+	}
+
+	rms := make([]*RankMesh, k)
+	for r := 0; r < k; r++ {
+		rms[r] = &RankMesh{Rank: r}
+	}
+	for e := 0; e < m.NumElems(); e++ {
+		rms[parts[e]].Elems = append(rms[parts[e]].Elems, int32(e))
+	}
+
+	peerCnt := growInt32(&s.peerCnt, k)
+	for r := 0; r < k; r++ {
+		rm := rms[r]
+		// Local nodes in ascending global id: scan the touch table in
+		// node order (no map, no sort — the order falls out).
+		for g := int32(0); g < int32(nn); g++ {
+			if containsPart(touch(g), int32(r)) {
+				rm.GlobalNode = append(rm.GlobalNode, g)
+			}
+		}
+		rm.LocalNode = make([]int32, nn)
+		for i := range rm.LocalNode {
+			rm.LocalNode[i] = -1
+		}
+		for i, g := range rm.GlobalNode {
+			rm.LocalNode[g] = int32(i)
+		}
+
+		// Ownership, plus per-peer halo counts in one pass.
+		for i := range peerCnt {
+			peerCnt[i] = 0
+		}
+		rm.Owned = make([]bool, len(rm.GlobalNode))
+		for i, g := range rm.GlobalNode {
+			ranks := touch(g)
+			if len(ranks) > 0 && ranks[0] == int32(r) {
+				rm.Owned[i] = true
+				rm.NumOwned++
+			}
+			for _, other := range ranks {
+				if other != int32(r) {
+					peerCnt[other]++
+				}
+			}
+		}
+		// Halos grouped by counting: peers come out ascending, and each
+		// list fills in ascending local (= ascending global) order.
+		for p := 0; p < k; p++ {
+			if peerCnt[p] > 0 {
+				rm.Halos = append(rm.Halos, Halo{Peer: p, Nodes: make([]int32, 0, peerCnt[p])})
+			}
+		}
+		for i, g := range rm.GlobalNode {
+			for _, other := range touch(g) {
+				if other != int32(r) {
+					h := findHalo(rm.Halos, int(other))
+					h.Nodes = append(h.Nodes, int32(i))
+				}
+			}
+		}
+
+		// Local connectivity.
+		rm.LocalPtr = make([]int32, 1, len(rm.Elems)+1)
+		for _, e := range rm.Elems {
+			rm.Kinds = append(rm.Kinds, m.Kinds[e])
+			for _, nd := range m.ElemNodes(int(e)) {
+				rm.LocalConn = append(rm.LocalConn, rm.LocalNode[nd])
+			}
+			rm.LocalPtr = append(rm.LocalPtr, int32(len(rm.LocalConn)))
+		}
+	}
+	return rms, nil
+}
+
+// findHalo returns the halo entry for peer; the caller guarantees it
+// exists (halos were sized by the counting pass).
+func findHalo(halos []Halo, peer int) *Halo {
+	for i := range halos {
+		if halos[i].Peer == peer {
+			return &halos[i]
+		}
+	}
+	panic("partition: halo peer not preallocated")
+}

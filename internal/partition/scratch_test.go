@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// scratchTestMesh builds a small airway for partitioning tests.
+func scratchTestMesh(t *testing.T, gens int) *mesh.Mesh {
+	t.Helper()
+	mc := mesh.DefaultAirwayConfig()
+	mc.Generations = gens
+	mc.NTheta = 8
+	mc.NAxial = 4
+	m, err := mesh.GenerateAirway(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	// One Scratch reused across meshes and rank counts must produce
+	// partitions and rank meshes deep-identical to fresh ones — the
+	// goldens depend on the partition, so any drift from buffer reuse
+	// would show up as a different simulation.
+	scr := NewScratch()
+	for _, gens := range []int{1, 2} {
+		m := scratchTestMesh(t, gens)
+		dual := m.DualByNode()
+		for _, k := range []int{1, 2, 4, 8} {
+			fresh, err := KWay(dual, nil, k)
+			if err != nil {
+				t.Fatalf("gens=%d k=%d: KWay: %v", gens, k, err)
+			}
+			reused, err := scr.KWay(dual, nil, k)
+			if err != nil {
+				t.Fatalf("gens=%d k=%d: Scratch.KWay: %v", gens, k, err)
+			}
+			if !reflect.DeepEqual(fresh, reused) {
+				t.Fatalf("gens=%d k=%d: Scratch.KWay differs from KWay", gens, k)
+			}
+			freshRMs, err := BuildRankMeshes(m, fresh.Parts, k)
+			if err != nil {
+				t.Fatalf("gens=%d k=%d: BuildRankMeshes: %v", gens, k, err)
+			}
+			reusedRMs, err := scr.BuildRankMeshes(m, reused.Parts, k)
+			if err != nil {
+				t.Fatalf("gens=%d k=%d: Scratch.BuildRankMeshes: %v", gens, k, err)
+			}
+			if !reflect.DeepEqual(freshRMs, reusedRMs) {
+				t.Fatalf("gens=%d k=%d: Scratch.BuildRankMeshes differs from BuildRankMeshes", gens, k)
+			}
+			if err := ValidateRankMeshes(reusedRMs, m.NumNodes()); err != nil {
+				t.Fatalf("gens=%d k=%d: invalid rank meshes from scratch: %v", gens, k, err)
+			}
+		}
+	}
+}
+
+func TestScratchResultsAreCallerOwned(t *testing.T) {
+	// The outputs (Parts, rank meshes) must not alias scratch buffers: a
+	// later build on the same Scratch must leave earlier results intact.
+	scr := NewScratch()
+	m := scratchTestMesh(t, 1)
+	dual := m.DualByNode()
+	p1, err := scr.KWay(dual, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms1, err := scr.BuildRankMeshes(m, p1.Parts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := append([]int32(nil), p1.Parts...)
+	nodes0 := append([]int32(nil), rms1[0].GlobalNode...)
+
+	m2 := scratchTestMesh(t, 2)
+	dual2 := m2.DualByNode()
+	p2, err := scr.KWay(dual2, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scr.BuildRankMeshes(m2, p2.Parts, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(parts, p1.Parts) {
+		t.Fatal("earlier Partition.Parts changed after scratch reuse")
+	}
+	if !reflect.DeepEqual(nodes0, rms1[0].GlobalNode) {
+		t.Fatal("earlier RankMesh.GlobalNode changed after scratch reuse")
+	}
+}

@@ -49,12 +49,20 @@ const (
 	defaultRunCost = defaultRanks * defaultSteps * defaultGens
 )
 
-// EstimateCost prices a submission in scheduler cost units: measured
-// scenarios (the ones that execute a real simulation) cost
-// ranks x steps x mesh generations with unset params at their
-// Table-1 defaults; modeled figures and report scenarios, which finish
-// in milliseconds, cost a nominal single unit.
+// EstimateCost prices a submission in scheduler cost units. A scenario
+// that knows its own parameter-dependent cost (scenario.Coster — the
+// sweep family, whose work is proportional to grid cardinality, not one
+// run) is asked directly. Otherwise: measured scenarios (the ones that
+// execute a real simulation) cost ranks x steps x mesh generations with
+// unset params at their Table-1 defaults; modeled figures and report
+// scenarios, which finish in milliseconds, cost a nominal single unit.
 func EstimateCost(sc scenario.Scenario, p scenario.Params) int64 {
+	if c, ok := sc.(scenario.Coster); ok {
+		if cost := c.EstimateCost(p); cost > 0 {
+			return cost
+		}
+		return 1
+	}
 	measured := false
 	for _, t := range sc.Tags() {
 		if t == "measured" {

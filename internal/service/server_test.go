@@ -412,3 +412,25 @@ func TestEstimateCost(t *testing.T) {
 		t.Fatalf("overridden measured cost = %d", c)
 	}
 }
+
+// TestEstimateCostConsultsCoster: a scenario that knows its own
+// parameter-dependent cost (the sweep family) overrides the flat
+// measured formula — its cost scales with the work it will actually do.
+func TestEstimateCostConsultsCoster(t *testing.T) {
+	sweep := scenario.NewCosted("s", "", []string{"measured", "sweep"}, nil,
+		func(p scenario.Params) int64 {
+			return int64(len(p.SweepDiameters)+1) * 10
+		})
+	if c := EstimateCost(sweep, scenario.Params{}); c != 10 {
+		t.Fatalf("coster default cost = %d, want 10", c)
+	}
+	if c := EstimateCost(sweep, scenario.Params{SweepDiameters: []float64{1e-6, 2e-6, 4e-6}}); c != 40 {
+		t.Fatalf("coster cost = %d, want 40 (grows with cardinality)", c)
+	}
+	// A degenerate self-estimate must not price the job at zero: the
+	// scheduler's capacity accounting needs every job to weigh something.
+	zero := scenario.NewCosted("z", "", nil, nil, func(scenario.Params) int64 { return 0 })
+	if c := EstimateCost(zero, scenario.Params{}); c != 1 {
+		t.Fatalf("zero self-estimate priced at %d, want 1", c)
+	}
+}

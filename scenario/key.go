@@ -57,5 +57,45 @@ func (p Params) CanonicalKey() string {
 	if p.Seed != 0 {
 		add("seed", strconv.FormatInt(p.Seed, 10))
 	}
+	if p.Inflow != nil {
+		add("inflow", p.Inflow.String())
+	}
+	// Sweep axes are set-like (the grid is a cartesian product): sorted
+	// and deduplicated, so axis order and repeats never split the cache.
+	floats := func(name string, vs []float64) {
+		if len(vs) == 0 {
+			return
+		}
+		sorted := append([]float64(nil), vs...)
+		sort.Float64s(sorted)
+		var b strings.Builder
+		for i, v := range sorted {
+			if i > 0 && v == sorted[i-1] {
+				continue
+			}
+			if b.Len() > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		add(name, b.String())
+	}
+	floats("sweepd", p.SweepDiameters)
+	floats("sweepq", p.SweepFlows)
+	if len(p.SweepGens) > 0 {
+		sorted := append([]int(nil), p.SweepGens...)
+		sort.Ints(sorted)
+		var b strings.Builder
+		for i, v := range sorted {
+			if i > 0 && v == sorted[i-1] {
+				continue
+			}
+			if b.Len() > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(strconv.Itoa(v))
+		}
+		add("sweepg", b.String())
+	}
 	return strings.Join(parts, ";")
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/coupling"
+	"repro/internal/navierstokes"
 	"repro/internal/tasking"
 )
 
@@ -66,5 +67,67 @@ func TestCanonicalKeyPlatformsSetLike(t *testing.T) {
 	b := Params{Platforms: []string{"MareNostrum4", "Thunder", "MareNostrum4"}}
 	if a.CanonicalKey() != b.CanonicalKey() {
 		t.Fatalf("platform order/dups changed the key: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
+// TestCanonicalKeyWaveform: waveforms key by their String() encoding —
+// two equivalent waveforms (parsed vs constructed) share a key, distinct
+// waveforms do not, and an unset Inflow adds nothing.
+func TestCanonicalKeyWaveform(t *testing.T) {
+	parsed, err := ParseWaveform("breathing:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewParams(WithInflow(parsed))
+	b := Params{Inflow: navierstokes.BreathingWaveform{Period: 0.5}}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatalf("equivalent waveforms differ: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	}
+	c := Params{Inflow: navierstokes.BreathingWaveform{Period: 0.25}}
+	if a.CanonicalKey() == c.CanonicalKey() {
+		t.Fatalf("distinct waveforms collide on %q", a.CanonicalKey())
+	}
+	d := Params{Inflow: navierstokes.SteadyWaveform{}}
+	if d.CanonicalKey() == (Params{}).CanonicalKey() {
+		t.Fatal("an explicit steady waveform must key differently from unset")
+	}
+}
+
+// TestCanonicalKeySweepAxesSetLike: sweep axes are set-like — order and
+// duplicates do not change the key, different values do, and unset axes
+// add nothing.
+func TestCanonicalKeySweepAxesSetLike(t *testing.T) {
+	a := NewParams(
+		WithSweepDiameters(10e-6, 2.5e-6, 10e-6),
+		WithSweepFlows(1.5, 0.9),
+		WithSweepGens(3, 2, 3),
+	)
+	b := Params{
+		SweepDiameters: []float64{2.5e-6, 10e-6},
+		SweepFlows:     []float64{0.9, 1.5},
+		SweepGens:      []int{2, 3},
+	}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatalf("axis order/dups changed the key: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	}
+	// The caller's slices must not be reordered by keying.
+	if a.SweepDiameters[0] != 10e-6 || a.SweepGens[0] != 3 {
+		t.Fatal("CanonicalKey mutated the caller's sweep axes")
+	}
+	variants := []Params{
+		{},
+		{SweepDiameters: []float64{2.5e-6}},
+		{SweepDiameters: []float64{10e-6}},
+		{SweepFlows: []float64{2.5e-6}},
+		{SweepGens: []int{2}},
+		b,
+	}
+	seen := map[string]int{}
+	for i, p := range variants {
+		k := p.CanonicalKey()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("variants %d and %d collide on %q", j, i, k)
+		}
+		seen[k] = i
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/coupling"
 	"repro/internal/mesh"
+	"repro/internal/navierstokes"
 	"repro/internal/tasking"
 )
 
@@ -59,6 +60,17 @@ type Params struct {
 	Width, Rows int
 	// Seed overrides the injection seed (0 = scenario default).
 	Seed int64
+	// Inflow overrides the inlet waveform of measured runs (nil =
+	// scenario default, normally steady inhalation).
+	Inflow navierstokes.Waveform
+	// SweepDiameters, SweepFlows and SweepGens override the axes of
+	// sweep-family scenarios: particle diameters (meters), inlet face
+	// speeds (m/s), and airway mesh generations. Empty = the scenario's
+	// default axis; axes are set-like (order and duplicates do not
+	// matter — see SweepAxes).
+	SweepDiameters []float64
+	SweepFlows     []float64
+	SweepGens      []int
 }
 
 // Option mutates Params; the With* constructors below are the public
@@ -113,6 +125,18 @@ func WithTimeline(width, rows int) Option { return func(p *Params) { p.Width = w
 // WithSeed sets the injection seed.
 func WithSeed(s int64) Option { return func(p *Params) { p.Seed = s } }
 
+// WithInflow sets the inlet waveform of measured runs.
+func WithInflow(w navierstokes.Waveform) Option { return func(p *Params) { p.Inflow = w } }
+
+// WithSweepDiameters sets the particle-diameter sweep axis (meters).
+func WithSweepDiameters(d ...float64) Option { return func(p *Params) { p.SweepDiameters = d } }
+
+// WithSweepFlows sets the inlet-speed sweep axis (m/s).
+func WithSweepFlows(q ...float64) Option { return func(p *Params) { p.SweepFlows = q } }
+
+// WithSweepGens sets the mesh-generation sweep axis.
+func WithSweepGens(g ...int) Option { return func(p *Params) { p.SweepGens = g } }
+
 // ApplyRun overlays the set overrides onto a run configuration. It is
 // the one place the mutate-the-struct-fields pattern survives, shared by
 // every measured scenario.
@@ -146,6 +170,9 @@ func (p Params) ApplyRun(rc *coupling.RunConfig) {
 	}
 	if p.Seed != 0 {
 		rc.Seed = p.Seed
+	}
+	if p.Inflow != nil {
+		rc.NS.Inflow = p.Inflow
 	}
 }
 

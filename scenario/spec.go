@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/coupling"
+	"repro/internal/navierstokes"
 	"repro/internal/tasking"
 )
 
@@ -33,6 +34,14 @@ func ParseStrategy(name string) (tasking.Strategy, error) {
 		return tasking.StrategyMultidep, nil
 	}
 	return 0, fmt.Errorf("unknown strategy %q (want serial, atomics, coloring, or multidep)", name)
+}
+
+// ParseWaveform resolves a CLI/API inflow-waveform description
+// ("steady", "breathing:<period>", "table:<t>=<s>,...") to a
+// navierstokes.Waveform, with the same vocabulary in respira flags and
+// POST /jobs options.
+func ParseWaveform(s string) (navierstokes.Waveform, error) {
+	return navierstokes.ParseWaveform(s)
 }
 
 // CheckPositive rejects a count that must be at least 1 (steps, ranks,
@@ -75,6 +84,13 @@ type ParamsSpec struct {
 	Width           *int     `json:"width,omitempty"`
 	Rows            *int     `json:"rows,omitempty"`
 	Seed            *int64   `json:"seed,omitempty"`
+	// Inflow is a waveform description: "steady", "breathing:<period>",
+	// or "table:<t0>=<s0>,<t1>=<s1>,...".
+	Inflow *string `json:"inflow,omitempty"`
+	// Sweep axes for sweep-family scenarios.
+	SweepDiameters []float64 `json:"sweepDiameters,omitempty"`
+	SweepFlows     []float64 `json:"sweepFlows,omitempty"`
+	SweepGens      []int     `json:"sweepGens,omitempty"`
 }
 
 // Params validates the spec and resolves it into a Params value. The
@@ -135,6 +151,37 @@ func (s ParamsSpec) Params() (Params, error) {
 	}
 	if s.Seed != nil {
 		p.Seed = *s.Seed
+	}
+	if s.Inflow != nil {
+		w, err := ParseWaveform(*s.Inflow)
+		if err != nil {
+			return Params{}, err
+		}
+		p.Inflow = w
+	}
+	for _, d := range s.SweepDiameters {
+		if !(d > 0) {
+			return Params{}, fmt.Errorf("sweepDiameters must be positive, got %g", d)
+		}
+	}
+	for _, q := range s.SweepFlows {
+		if !(q > 0) {
+			return Params{}, fmt.Errorf("sweepFlows must be positive, got %g", q)
+		}
+	}
+	for _, g := range s.SweepGens {
+		if err := CheckPositive("sweepGens", g); err != nil {
+			return Params{}, err
+		}
+	}
+	if len(s.SweepDiameters) > 0 {
+		p.SweepDiameters = append([]float64(nil), s.SweepDiameters...)
+	}
+	if len(s.SweepFlows) > 0 {
+		p.SweepFlows = append([]float64(nil), s.SweepFlows...)
+	}
+	if len(s.SweepGens) > 0 {
+		p.SweepGens = append([]int(nil), s.SweepGens...)
 	}
 	return p, nil
 }

@@ -130,3 +130,62 @@ func TestParseVocabulary(t *testing.T) {
 		t.Fatal("unknown mode accepted")
 	}
 }
+
+// TestParamsSpecWaveformAndSweep: the new inflow/sweep fields resolve
+// and validate like the rest of the spec — bad values fail the whole
+// spec before any work starts.
+func TestParamsSpecWaveformAndSweep(t *testing.T) {
+	spec := ParamsSpec{
+		Inflow:         sptr("breathing:0.5"),
+		SweepDiameters: []float64{2.5e-6, 10e-6},
+		SweepFlows:     []float64{0.9},
+		SweepGens:      []int{2, 3},
+	}
+	p, err := spec.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Inflow == nil || p.Inflow.String() != "breathing:0.5" {
+		t.Fatalf("inflow = %v", p.Inflow)
+	}
+	if len(p.SweepDiameters) != 2 || len(p.SweepFlows) != 1 || len(p.SweepGens) != 2 {
+		t.Fatalf("sweep axes = %+v", p)
+	}
+	// Resolved axes are copies, not aliases of the spec's slices.
+	spec.SweepDiameters[0] = 99
+	if p.SweepDiameters[0] == 99 {
+		t.Fatal("resolved SweepDiameters aliases the spec slice")
+	}
+
+	for _, bad := range []ParamsSpec{
+		{Inflow: sptr("whoosh")},
+		{Inflow: sptr("breathing:-1")},
+		{SweepDiameters: []float64{2.5e-6, -1}},
+		{SweepFlows: []float64{0}},
+		{SweepGens: []int{2, 0}},
+	} {
+		if _, err := bad.Params(); err == nil {
+			t.Errorf("spec %+v: want error, got nil", bad)
+		}
+	}
+}
+
+// TestParamsSpecWaveformJSON: the wire form round-trips through JSON the
+// way respirad's POST /jobs body carries it.
+func TestParamsSpecWaveformJSON(t *testing.T) {
+	var spec ParamsSpec
+	body := `{"inflow":"table:0=0,0.1=1","sweepDiameters":[1e-6],"sweepFlows":[1.2],"sweepGens":[2]}`
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Inflow == nil || p.Inflow.String() != "table:0=0,0.1=1" {
+		t.Fatalf("inflow = %v", p.Inflow)
+	}
+	if p.SweepGens[0] != 2 {
+		t.Fatalf("sweepGens = %v", p.SweepGens)
+	}
+}

@@ -29,6 +29,7 @@ const (
 func init() {
 	registerPaperScenarios()
 	registerExampleScenarios()
+	registerSweepScenarios()
 }
 
 // table1Opts maps scenario params onto Table-1 run options.

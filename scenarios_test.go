@@ -52,6 +52,10 @@ func TestRegistryHoldsAllWorkloads(t *testing.T) {
 	if len(example) != 4 {
 		t.Fatalf("example workloads = %d scenarios, want 4", len(example))
 	}
+	sweep := scenario.Default.WithTag("sweep")
+	if len(sweep) != 2 {
+		t.Fatalf("sweep family = %d scenarios, want 2", len(sweep))
+	}
 }
 
 // TestEveryScenarioRunsAndRoundTripsJSON executes all 16 registered
