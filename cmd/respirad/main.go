@@ -14,10 +14,24 @@
 //	GET    /jobs/{id}                     status + progress events
 //	GET    /jobs/{id}/artifact?format=f   f in text|json|csv
 //	DELETE /jobs/{id}                     cancel at the next step boundary
+//	GET    /healthz                       liveness
+//	GET    /stats                         scheduler occupancy + cache hits/misses
+//
+// With -telemetry DIR every executed job also persists its run events
+// (rank timelines, step and DLB-migration markers, scheduler admission)
+// into a chunked on-disk store, served back at:
+//
+//	GET    /jobs/{id}/trace?from=&to=&rank=   stored rows of the job's run
+//	GET    /jobs/{id}/phases                  per-phase makespan + Ln table
+//	GET    /telemetry/runs                    recorded runs, newest first
+//	GET    /telemetry/runs/{run}?from=&to=&rank=
+//
+// The store survives restarts (crash-truncated chunks are recovered on
+// open) and is readable offline with `traceview -store DIR`.
 //
 // Example:
 //
-//	respirad -addr :8080 -capacity 1536 -queue 64 -ttl 15m
+//	respirad -addr :8080 -capacity 1536 -queue 64 -ttl 15m -telemetry /var/lib/respirad/telemetry
 package main
 
 import (
@@ -35,6 +49,7 @@ import (
 	_ "repro" // populate the default scenario registry
 	"repro/internal/service"
 	"repro/internal/tasking"
+	"repro/internal/telemetry"
 	"repro/scenario"
 )
 
@@ -44,6 +59,7 @@ func main() {
 	queue := flag.Int("queue", 64, "max jobs waiting for capacity before POST /jobs returns 429")
 	ttl := flag.Duration("ttl", 15*time.Minute, "artifact cache TTL")
 	workers := flag.Int("workers", runtime.NumCPU(), "shared runner pool workers")
+	telemetryDir := flag.String("telemetry", "", "persist run telemetry into this store directory (empty = off)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -64,6 +80,15 @@ func main() {
 		fail(fmt.Errorf("ttl must be positive, got %v", *ttl))
 	}
 
+	var tstore *telemetry.Store
+	if *telemetryDir != "" {
+		st, err := telemetry.OpenDir(*telemetryDir)
+		if err != nil {
+			fail(err)
+		}
+		tstore = st
+	}
+
 	pool := tasking.NewPool(*workers)
 	defer pool.Close()
 	srv := service.New(service.Config{
@@ -71,6 +96,7 @@ func main() {
 		MaxQueue:   *queue,
 		CacheTTL:   *ttl,
 		RunnerPool: pool,
+		Telemetry:  tstore,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "respirad: "+format+"\n", args...)
 		},
@@ -84,6 +110,10 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "respirad: serving %d scenarios on %s (queue %d, ttl %v, %d pool workers)\n",
 		len(scenario.Default.Names()), *addr, *queue, *ttl, *workers)
+	if tstore != nil {
+		fmt.Fprintf(os.Stderr, "respirad: recording run telemetry into %s (%d runs on open)\n",
+			*telemetryDir, tstore.RunCount())
+	}
 
 	select {
 	case err := <-errc:

@@ -1,38 +1,292 @@
-// Command traceview renders the Paraver-style timeline of a quick
-// respiratory run — the reproduction's stand-in for opening an Extrae
-// trace in Paraver (the paper's Figure 2 workflow).
+// Command traceview renders Paraver-style timelines — the
+// reproduction's stand-in for opening an Extrae trace in Paraver (the
+// paper's Figure 2 workflow). It reads three sources:
+//
+//   - A persistent telemetry store directory written by respirad
+//     (-store DIR): list recorded runs, or re-render one byte-identically
+//     to the in-memory render, with its per-phase makespan/imbalance
+//     table.
+//   - A live respirad server (-url http://host:port): the same listing
+//     and rendering over the /telemetry endpoints.
+//   - A fresh run of any registry scenario (-scenario NAME, the
+//     default mode): render its artifact directly, and record the run
+//     into -store when one is given.
 //
 // Usage:
 //
-//	traceview [-ranks N] [-steps N] [-particles N] [-width N] [-rows N]
+//	traceview                                    # fresh fig2 run
+//	traceview -scenario quickstart -ranks 8
+//	traceview -store /var/lib/respirad/telemetry -list
+//	traceview -store DIR -run job-3              # render a stored run
+//	traceview -url http://localhost:8080 -list
+//	traceview -url http://localhost:8080 -run job-3
+//
+// Unknown -scenario names fail with the list of registered scenarios.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"time"
 
-	"repro"
+	_ "repro" // populate the default scenario registry
+	"repro/internal/service"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/scenario"
 )
 
 func main() {
-	ranks := flag.Int("ranks", 32, "MPI ranks")
-	steps := flag.Int("steps", 2, "time steps")
-	particles := flag.Int("particles", 5000, "particles injected")
-	width := flag.Int("width", 110, "timeline width (chars)")
-	rows := flag.Int("rows", 32, "max rank rows shown")
-	flag.Parse()
-
-	opts := repro.DefaultTable1Options()
-	opts.Ranks = *ranks
-	opts.Steps = *steps
-	opts.Particles = *particles
-	opts.MeshGen = 3
-
-	out, err := repro.Figure2(opts, *width, *rows)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "traceview:", err)
 		os.Exit(1)
 	}
-	fmt.Print(out)
+}
+
+// run is the whole CLI, separated from main for testing.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		store = fs.String("store", "", "telemetry store directory to render from (or record into with -scenario)")
+		url   = fs.String("url", "", "base URL of a live respirad server to query instead of a store directory")
+		list  = fs.Bool("list", false, "list recorded runs and exit (-store or -url mode)")
+		runID = fs.String("run", "", "run ID to render (default: the newest recorded run)")
+		scen  = fs.String("scenario", "fig2", "registry scenario to run fresh (ignored with -url or a bare -store)")
+
+		ranks     = fs.Int("ranks", 32, "MPI ranks (fresh runs)")
+		steps     = fs.Int("steps", 2, "time steps (fresh runs)")
+		particles = fs.Int("particles", 5000, "particles injected (fresh runs)")
+		mesh      = fs.Int("mesh", 3, "airway mesh generations (fresh runs)")
+		width     = fs.Int("width", 110, "timeline width (chars)")
+		rows      = fs.Int("rows", 32, "max rank rows shown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *url != "" && *store != "" {
+		return fmt.Errorf("-store and -url are mutually exclusive")
+	}
+	// A scenario run happens only when the user asked for one (or gave
+	// neither source); a bare -store/-url is a pure reader.
+	scenarioSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "scenario" {
+			scenarioSet = true
+		}
+	})
+
+	switch {
+	case *url != "":
+		if scenarioSet {
+			return fmt.Errorf("-scenario runs locally; drop it when querying a server with -url")
+		}
+		return runRemote(*url, *list, *runID, *width, *rows, stdout)
+	case *store != "" && !scenarioSet:
+		st, err := telemetry.OpenDir(*store)
+		if err != nil {
+			return err
+		}
+		return runStored(st, *list, *runID, *width, *rows, stdout)
+	default:
+		if *list || *runID != "" {
+			return fmt.Errorf("-list and -run need a source: -store DIR or -url URL")
+		}
+		params := freshParams(fs, *ranks, *steps, *particles, *mesh, *width, *rows)
+		return runFresh(ctx, *scen, *store, params, stdout, stderr)
+	}
+}
+
+// freshParams passes only explicitly set flags through, so flag
+// defaults do not override a scenario's own defaults (matching
+// benchfig).
+func freshParams(fs *flag.FlagSet, ranks, steps, particles, mesh, width, rows int) scenario.Params {
+	var p scenario.Params
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "ranks":
+			p.Ranks = ranks
+		case "steps":
+			p.Steps = steps
+		case "particles":
+			p.Particles = particles
+		case "mesh":
+			p.MeshGenerations = mesh
+		case "width", "rows":
+			p.Width, p.Rows = width, rows
+		}
+	})
+	return p
+}
+
+// namedSink stamps the scenario name onto runs the simulation records,
+// so store listings can say what produced each run.
+type namedSink struct {
+	st       *telemetry.Store
+	scenario string
+}
+
+func (s namedSink) BeginRun(meta telemetry.RunMeta) (*telemetry.RunWriter, error) {
+	if meta.Scenario == "" {
+		meta.Scenario = s.scenario
+	}
+	return s.st.BeginRun(meta)
+}
+
+// runFresh executes one registry scenario and prints its artifact. With
+// a store directory the executed simulations are also recorded there
+// (the store rides the context down to coupling.RunContext).
+func runFresh(ctx context.Context, name, storeDir string, params scenario.Params, stdout, stderr io.Writer) error {
+	sc, err := scenario.Default.Get(name) // unknown names list the registry
+	if err != nil {
+		return err
+	}
+	if storeDir != "" {
+		st, err := telemetry.OpenDir(storeDir)
+		if err != nil {
+			return err
+		}
+		before := st.RunCount()
+		ctx = telemetry.ContextWithSink(ctx, namedSink{st: st, scenario: name})
+		defer func() {
+			if n := st.RunCount() - before; n > 0 {
+				fmt.Fprintf(stderr, "traceview: recorded %d run(s) into %s\n", n, storeDir)
+			}
+		}()
+	}
+	r := &scenario.Runner{}
+	results, err := r.Run(ctx, []scenario.Scenario{sc}, params)
+	if err != nil && (len(results) == 0 || results[0].Err == nil) {
+		return err
+	}
+	if res := results[0]; res.Err != nil {
+		return res.Err
+	}
+	fmt.Fprint(stdout, results[0].Artifact.Text())
+	return nil
+}
+
+// runStored lists or renders runs of an on-disk store.
+func runStored(st *telemetry.Store, list bool, runID string, width, rows int, stdout io.Writer) error {
+	runs := st.Runs()
+	if list {
+		listRuns(stdout, runs)
+		return nil
+	}
+	if runID == "" {
+		if len(runs) == 0 {
+			return fmt.Errorf("store holds no runs")
+		}
+		runID = runs[len(runs)-1].Run
+	}
+	tr, meta, err := st.Trace(runID)
+	if err != nil {
+		return err
+	}
+	render(stdout, tr, meta, width, rows)
+	return nil
+}
+
+// runRemote is runStored over a live server's /telemetry endpoints.
+func runRemote(base string, list bool, runID string, width, rows int, stdout io.Writer) error {
+	base = strings.TrimRight(base, "/")
+	if list || runID == "" {
+		var runs []telemetry.RunMeta
+		if err := getJSON(base+"/telemetry/runs", &runs); err != nil {
+			return err
+		}
+		if list {
+			// The server lists newest first; the local listing prints
+			// oldest first.
+			for i, j := 0, len(runs)-1; i < j; i, j = i+1, j-1 {
+				runs[i], runs[j] = runs[j], runs[i]
+			}
+			listRuns(stdout, runs)
+			return nil
+		}
+		if len(runs) == 0 {
+			return fmt.Errorf("server holds no runs")
+		}
+		runID = runs[0].Run
+	}
+	var tw service.TraceWire
+	if err := getJSON(base+"/telemetry/runs/"+runID, &tw); err != nil {
+		return err
+	}
+	telRows := make([]telemetry.Row, len(tw.Rows))
+	for i, rw := range tw.Rows {
+		telRows[i] = rw.Row()
+	}
+	render(stdout, telemetry.TraceFromRows(tw.Meta.Ranks, telRows), tw.Meta, width, rows)
+	return nil
+}
+
+// getJSON fetches one endpoint into out, surfacing the server's JSON
+// error body on non-200 statuses.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", url, e.Error)
+		}
+		return fmt.Errorf("%s: HTTP %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// listRuns prints one line per run, oldest first.
+func listRuns(w io.Writer, runs []telemetry.RunMeta) {
+	fmt.Fprintf(w, "%-20s %-12s %-12s %5s %5s %8s %-8s %s\n",
+		"RUN", "SCENARIO", "MODE", "RANKS", "STEPS", "ROWS", "STATE", "CREATED")
+	for _, m := range runs {
+		state := "complete"
+		if !m.Complete {
+			state = "partial"
+		}
+		fmt.Fprintf(w, "%-20s %-12s %-12s %5d %5d %8d %-8s %s\n",
+			m.Run, m.Scenario, m.Mode, m.Ranks, m.Steps, m.Rows, state,
+			m.Created.Format(time.RFC3339))
+	}
+}
+
+// render prints a stored run: a metadata header, the Paraver-style
+// timeline (byte-identical to the in-memory render of the original
+// run), and the per-phase makespan/imbalance table.
+func render(w io.Writer, tr *trace.Trace, meta telemetry.RunMeta, width, rows int) {
+	fmt.Fprintf(w, "run %s", meta.Run)
+	if meta.Job != "" {
+		fmt.Fprintf(w, "  job=%s", meta.Job)
+	}
+	if meta.Scenario != "" {
+		fmt.Fprintf(w, "  scenario=%s", meta.Scenario)
+	}
+	fmt.Fprintf(w, "  mode=%s ranks=%d steps=%d makespan=%.4g\n\n", meta.Mode, meta.Ranks, meta.Steps, meta.Makespan)
+	fmt.Fprint(w, tr.Render(width, rows))
+	pw := service.PhasesFromTrace(tr, meta)
+	if len(pw.Phases) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-16s %10s %8s %8s\n", "Phase", "max", "L_n", "%time")
+	for _, p := range pw.Phases {
+		fmt.Fprintf(w, "%-16s %10.4g %8.2f %7.1f%%\n", p.Phase, p.Max, p.Ln, p.Percent)
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/simmpi"
 	"repro/internal/tasking"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -98,6 +99,14 @@ type RunConfig struct {
 	// goroutine: keep it cheap, and do not call back into the run. It is
 	// the hook progress reporting and cancellation tests build on.
 	OnStep func(step int)
+
+	// Telemetry, when set, receives a successful run's event rows —
+	// whole rank timelines plus step and DLB-migration markers, drained
+	// after the last rank goroutine joins, strictly off the step loop's
+	// hot path. RunContext falls back to the sink attached to its
+	// context (telemetry.ContextWithSink); nil records nothing.
+	// Telemetry never fails a run: sink errors are dropped.
+	Telemetry telemetry.Sink
 }
 
 // DefaultRunConfig returns a small synchronous run.
@@ -157,6 +166,9 @@ func RunContext(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 	}
 	if cfg.WorkersPerRank < 1 {
 		cfg.WorkersPerRank = 1
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.SinkFromContext(ctx)
 	}
 	switch cfg.Mode {
 	case Synchronous:
@@ -309,6 +321,13 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 	exited := make([]int, n)
 	activeEnd := make([]int, n)
 	cancel := newStepCanceller(ctx)
+	// Step-boundary clocks for telemetry, recorded by rank 0 only and
+	// read after world.Run joins every rank goroutine. Preallocated so
+	// the step loop stays allocation-free.
+	var stepClocks []float64
+	if cfg.Telemetry != nil {
+		stepClocks = make([]float64, 0, cfg.Steps)
+	}
 
 	start := time.Now()
 	err = world.Run(func(r *simmpi.Rank) {
@@ -342,8 +361,13 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 			tr.Ranks[id].Advance(trace.PhaseParticles, float64(tk.WorkUnits-w0)*cfg.ParticleUnit)
 			maxClock := r.Comm.AllreduceFloat64(tr.Ranks[id].Clock(), simmpi.OpMax)
 			tr.Ranks[id].AlignTo(maxClock)
-			if id == 0 && cfg.OnStep != nil {
-				cfg.OnStep(step)
+			if id == 0 {
+				if stepClocks != nil {
+					stepClocks = append(stepClocks, maxClock)
+				}
+				if cfg.OnStep != nil {
+					cfg.OnStep(step)
+				}
 			}
 		}
 		a, dd, ee := tk.Counts()
@@ -364,6 +388,7 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 	}
 	res.Makespan = tr.MaxClock()
 	res.DLB = d.Snapshot()
+	recordTelemetry(&cfg, res, stepClocks, d)
 	return res, nil
 }
 
@@ -438,6 +463,12 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 	exited := make([]int, total)
 	activeEnd := make([]int, total)
 	cancel := newStepCanceller(ctx)
+	// Mirror of runSynchronous's telemetry step markers: in coupled mode
+	// the marker is fluid rank 0's clock after its step and sends.
+	var stepClocks []float64
+	if cfg.Telemetry != nil {
+		stepClocks = make([]float64, 0, cfg.Steps)
+	}
 
 	start := time.Now()
 	err = world.Run(func(r *simmpi.Rank) {
@@ -480,8 +511,13 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 					}
 					r.Comm.SendFloat64Buf(f+xl.peer, tagVelocity, buf)
 				}
-				if id == 0 && cfg.OnStep != nil {
-					cfg.OnStep(step)
+				if id == 0 {
+					if stepClocks != nil {
+						stepClocks = append(stepClocks, tr.Ranks[id].Clock())
+					}
+					if cfg.OnStep != nil {
+						cfg.OnStep(step)
+					}
 				}
 			}
 			return
@@ -557,5 +593,6 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 	}
 	res.Makespan = tr.MaxClock()
 	res.DLB = d.Snapshot()
+	recordTelemetry(&cfg, res, stepClocks, d)
 	return res, nil
 }

@@ -1,0 +1,63 @@
+package coupling
+
+import (
+	"sort"
+
+	"repro/internal/dlb"
+	"repro/internal/telemetry"
+)
+
+// recordTelemetry drains a completed run into the configured sink:
+// world marker rows first (step boundaries and DLB migrations, merged
+// by time), then every rank's whole timeline in rank order — exactly
+// the store's append-order invariant, so the persisted run stays
+// binary-searchable. It runs after world.Run joined every rank
+// goroutine, strictly off the simulation hot path, and it never fails
+// the run: sink errors are dropped by contract.
+func recordTelemetry(cfg *RunConfig, res *RunResult, stepClocks []float64, d *dlb.DLB) {
+	if cfg.Telemetry == nil {
+		return
+	}
+	w, err := cfg.Telemetry.BeginRun(telemetry.RunMeta{
+		Mode:     cfg.Mode.String(),
+		Ranks:    len(res.Trace.Ranks),
+		Steps:    cfg.Steps,
+		Makespan: res.Makespan,
+	})
+	if err != nil || w == nil {
+		return
+	}
+	migs := d.Migrations()
+	world := make([]telemetry.Row, 0, len(stepClocks)+len(migs))
+	for i, t := range stepClocks {
+		world = append(world, telemetry.Row{
+			Rank: telemetry.WorldRank, Step: int32(i), Kind: telemetry.KindStep,
+			Start: t, End: t,
+		})
+	}
+	for _, m := range migs {
+		at := m.At.Seconds()
+		world = append(world, telemetry.Row{
+			Rank: telemetry.WorldRank, Step: int32(m.Rank), Kind: telemetry.KindMigration,
+			Aux: int32(m.Workers), Start: at, End: at,
+		})
+	}
+	// Step markers carry virtual time and migrations wall time, so the
+	// merge only establishes the store's nondecreasing-start invariant
+	// for the world rank, not a shared clock.
+	sort.SliceStable(world, func(i, j int) bool { return world[i].Start < world[j].Start })
+	w.Append(world...)
+
+	buf := make([]telemetry.Row, 0, cfg.Steps*maxEventsPerStep)
+	for rank, rt := range res.Trace.Ranks {
+		buf = buf[:0]
+		for _, e := range rt.Events() {
+			buf = append(buf, telemetry.Row{
+				Rank: int32(rank), Kind: telemetry.KindPhase, Phase: e.Phase,
+				Start: e.Start, End: e.End,
+			})
+		}
+		w.Append(buf...)
+	}
+	_ = w.Close()
+}

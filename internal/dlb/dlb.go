@@ -14,6 +14,7 @@ package dlb
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Resizable is the pool surface DLB drives; *tasking.Pool satisfies it.
@@ -32,6 +33,21 @@ type Stats struct {
 	PeakWorkers map[int]int
 }
 
+// Migration records one pool resize DLB actually performed: Rank's
+// worker pool changed to Workers at wall-clock offset At from the
+// instance's creation. Redundant rebalances (same target) record
+// nothing, so the log is exactly the sequence of effective LeWI
+// migrations — the events the telemetry store persists per run.
+type Migration struct {
+	Rank    int
+	Workers int
+	At      time.Duration
+}
+
+// maxMigrations bounds the migration log; runs that rebalance more
+// often than this keep the earliest entries and stop recording.
+const maxMigrations = 4096
+
 // DLB is the library instance for one run. Register every rank, then
 // install it as the world's BlockingHooks (it implements
 // simmpi.BlockingHooks).
@@ -41,6 +57,8 @@ type DLB struct {
 	nodes   map[int]*nodeState
 	ranks   map[int]*procState
 	stats   Stats
+	start   time.Time
+	migs    []Migration
 }
 
 type nodeState struct {
@@ -58,13 +76,25 @@ type procState struct {
 
 // setTarget pushes a worker count to the pool only when it changed —
 // rebalances run on every blocking call, so redundant pool wakeups are
-// the dominant overhead otherwise.
-func (p *procState) setTarget(n int) {
+// the dominant overhead otherwise. Reports whether the pool was resized.
+func (p *procState) setTarget(n int) bool {
 	if p.target == n {
-		return
+		return false
 	}
 	p.target = n
 	p.pool.SetWorkers(n)
+	return true
+}
+
+// setTargetLocked resizes p's pool through setTarget and logs the
+// migration when the target actually changed. Called with d.mu held.
+func (d *DLB) setTargetLocked(p *procState, n int) {
+	if !p.setTarget(n) {
+		return
+	}
+	if len(d.migs) < maxMigrations {
+		d.migs = append(d.migs, Migration{Rank: p.rank, Workers: n, At: time.Since(d.start)})
+	}
 }
 
 // New creates a DLB instance; pass enabled=false for the "original"
@@ -75,6 +105,7 @@ func New(enabled bool) *DLB {
 		nodes:   make(map[int]*nodeState),
 		ranks:   make(map[int]*procState),
 		stats:   Stats{PeakWorkers: make(map[int]int)},
+		start:   time.Now(),
 	}
 }
 
@@ -154,7 +185,7 @@ func (d *DLB) rebalanceLocked(ns *nodeState) {
 	if len(active) == 0 {
 		// Everyone blocked: nothing to lend to; restore owners.
 		for _, p := range ns.procs {
-			p.setTarget(p.owned)
+			d.setTargetLocked(p, p.owned)
 		}
 		return
 	}
@@ -166,7 +197,7 @@ func (d *DLB) rebalanceLocked(ns *nodeState) {
 			extra++
 		}
 		target := p.owned + extra
-		p.setTarget(target)
+		d.setTargetLocked(p, target)
 		if w := p.pool.Workers(); w > d.stats.PeakWorkers[p.rank] {
 			d.stats.PeakWorkers[p.rank] = w
 		}
@@ -175,7 +206,7 @@ func (d *DLB) rebalanceLocked(ns *nodeState) {
 	// straggler tasks still drain.
 	for _, p := range ns.procs {
 		if p.blocked {
-			p.setTarget(1)
+			d.setTargetLocked(p, 1)
 		}
 	}
 }
@@ -193,6 +224,14 @@ func (d *DLB) Snapshot() Stats {
 		out.PeakWorkers[k] = v
 	}
 	return out
+}
+
+// Migrations returns a copy of the effective worker-migration log, in
+// the order the resizes happened.
+func (d *DLB) Migrations() []Migration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Migration(nil), d.migs...)
 }
 
 // WorkersOf reports the current worker target of a rank's pool (testing

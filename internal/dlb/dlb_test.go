@@ -251,3 +251,67 @@ func TestDLBWithSimMPIAndRealPools(t *testing.T) {
 		t.Fatalf("cores not reclaimed after run: %d", pools[1].Workers())
 	}
 }
+
+func TestMigrationLogRecordsEffectiveResizes(t *testing.T) {
+	d := New(true)
+	pa := newFakePool(2, 8)
+	pb := newFakePool(2, 8)
+	if err := d.Register(0, 0, pa, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(1, 0, pb, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Migrations()) != 0 {
+		t.Fatalf("migrations before any blocking call: %v", d.Migrations())
+	}
+
+	d.IntoBlockingCall(0) // rank 0 lends: rank 1 -> 4 workers, rank 0 -> 1
+	migs := d.Migrations()
+	if len(migs) == 0 {
+		t.Fatal("no migrations recorded for an effective resize")
+	}
+	sawBorrow := false
+	for _, m := range migs {
+		if m.Rank == 1 && m.Workers == 4 {
+			sawBorrow = true
+		}
+		if m.At < 0 {
+			t.Fatalf("negative migration offset: %v", m.At)
+		}
+	}
+	if !sawBorrow {
+		t.Fatalf("rank 1 borrow not logged: %v", migs)
+	}
+
+	// A redundant rebalance (same targets) must not grow the log.
+	before := len(d.Migrations())
+	d.IntoBlockingCall(0) // idempotent hook: already blocked
+	if got := len(d.Migrations()); got != before {
+		t.Fatalf("redundant transition grew the log: %d -> %d", before, got)
+	}
+
+	d.OutOfBlockingCall(0) // reclaim: both back to 2... rank 0 1->2, rank 1 4->2
+	after := d.Migrations()
+	if len(after) <= before {
+		t.Fatal("reclaim recorded no migrations")
+	}
+	// The returned slice is a copy: mutating it must not corrupt the log.
+	after[0].Workers = -99
+	if d.Migrations()[0].Workers == -99 {
+		t.Fatal("Migrations returned internal storage")
+	}
+}
+
+func TestDisabledDLBLogsNoMigrations(t *testing.T) {
+	d := New(false)
+	p := newFakePool(2, 8)
+	if err := d.Register(0, 0, p, 2); err != nil {
+		t.Fatal(err)
+	}
+	d.IntoBlockingCall(0)
+	d.OutOfBlockingCall(0)
+	if n := len(d.Migrations()); n != 0 {
+		t.Fatalf("disabled DLB logged %d migrations", n)
+	}
+}

@@ -15,6 +15,7 @@ package memo
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,6 +44,9 @@ type Cache[K comparable, V any] struct {
 	ttl       time.Duration // <= 0: entries never expire
 	now       func() time.Time
 	lastSweep time.Time
+
+	hits   atomic.Uint64 // calls served by another caller's computation
+	misses atomic.Uint64 // calls that ran fn as the leader
 }
 
 // New returns a cache whose successful entries expire ttl after
@@ -88,6 +92,7 @@ func (c *Cache[K, V]) Do(ctx context.Context, k K, fn func(context.Context) (V, 
 			}
 			c.mu.Unlock()
 			close(e.done)
+			c.misses.Add(1)
 			return e.val, e.err
 		}
 		c.mu.Unlock()
@@ -105,6 +110,7 @@ func (c *Cache[K, V]) Do(ctx context.Context, k K, fn func(context.Context) (V, 
 			}
 		}
 		if e.err == nil {
+			c.hits.Add(1)
 			return e.val, nil
 		}
 		if err := ctx.Err(); err != nil {
@@ -116,6 +122,14 @@ func (c *Cache[K, V]) Do(ctx context.Context, k K, fn func(context.Context) (V, 
 		// race to observe the failure.
 		c.evict(k, e)
 	}
+}
+
+// Stats reports how many Do calls were served by another caller's
+// computation (hits — cached or deduplicated) versus ran fn themselves
+// (misses). Calls that returned early on their own cancelled context
+// count as neither.
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Forget drops k's entry if present (in flight or completed). An

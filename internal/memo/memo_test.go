@@ -241,3 +241,32 @@ func TestNoTTLNeverExpires(t *testing.T) {
 		t.Fatalf("no-TTL entry recomputed: %d", v)
 	}
 }
+
+func TestStatsCountHitsAndMisses(t *testing.T) {
+	c := New[string, int](time.Minute)
+	ctx := context.Background()
+	fn := func(v int) func(context.Context) (int, error) {
+		return func(context.Context) (int, error) { return v, nil }
+	}
+	if _, err := c.Do(ctx, "a", fn(1)); err != nil { // leader: miss
+		t.Fatal(err)
+	}
+	if _, err := c.Do(ctx, "a", fn(1)); err != nil { // cached: hit
+		t.Fatal(err)
+	}
+	if _, err := c.Do(ctx, "b", fn(2)); err != nil { // new key: miss
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2", hits, misses)
+	}
+	// A failing leader still counts as a miss.
+	boom := errors.New("boom")
+	if _, err := c.Do(ctx, "c", func(context.Context) (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, misses = c.Stats(); misses != 3 {
+		t.Fatalf("misses=%d after failed leader, want 3", misses)
+	}
+}

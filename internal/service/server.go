@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/memo"
 	"repro/internal/tasking"
+	"repro/internal/telemetry"
 	"repro/scenario"
 )
 
@@ -37,6 +39,12 @@ type Config struct {
 	RunnerPool *tasking.Pool
 	// Logf, when set, receives one line per job state change.
 	Logf func(format string, args ...any)
+	// Telemetry, when set, persists every leader job's simulation runs
+	// (rank timelines, step and DLB-migration markers, scheduler
+	// admission events) under the job's ID and serves them at
+	// GET /jobs/{id}/trace, GET /jobs/{id}/phases and GET /telemetry/runs.
+	// nil disables recording and 404s those endpoints.
+	Telemetry *telemetry.Store
 }
 
 // Cost of one default-sized measured run (DefaultTable1Options: 96 ranks
@@ -121,11 +129,12 @@ type Job struct {
 
 // Server is the HTTP job service over a scenario registry.
 type Server struct {
-	reg   *scenario.Registry
-	sched *Scheduler
-	cache *memo.Cache[string, *scenario.Artifact]
-	pool  *tasking.Pool
-	logf  func(string, ...any)
+	reg    *scenario.Registry
+	sched  *Scheduler
+	cache  *memo.Cache[string, *scenario.Artifact]
+	pool   *tasking.Pool
+	logf   func(string, ...any)
+	tstore *telemetry.Store
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -152,12 +161,13 @@ func New(cfg Config) *Server {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		reg:   cfg.Registry,
-		sched: NewScheduler(cfg.Capacity, cfg.MaxQueue),
-		cache: memo.New[string, *scenario.Artifact](cfg.CacheTTL),
-		pool:  cfg.RunnerPool,
-		logf:  logf,
-		jobs:  make(map[string]*Job),
+		reg:    cfg.Registry,
+		sched:  NewScheduler(cfg.Capacity, cfg.MaxQueue),
+		cache:  memo.New[string, *scenario.Artifact](cfg.CacheTTL),
+		pool:   cfg.RunnerPool,
+		logf:   logf,
+		tstore: cfg.Telemetry,
+		jobs:   make(map[string]*Job),
 	}
 }
 
@@ -182,7 +192,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /jobs/{id}/phases", s.handleJobPhases)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /telemetry/runs", s.handleTelemetryRuns)
+	mux.HandleFunc("GET /telemetry/runs/{run}", s.handleTelemetryRun)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
 
@@ -247,16 +263,53 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleJobList serves GET /jobs. Without parameters the full listing
+// comes oldest first (submission order). ?state= keeps only jobs in
+// that state; ?limit=N flips to newest first and truncates — the shape
+// an operator polling "what just happened" wants.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	vals := r.URL.Query()
+	var stateFilter JobState
+	if raw := vals.Get("state"); raw != "" {
+		switch JobState(raw) {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+			stateFilter = JobState(raw)
+		default:
+			writeError(w, http.StatusBadRequest,
+				"unknown state %q (want queued, running, done, failed, or cancelled)", raw)
+			return
+		}
+	}
+	limit := -1
+	if raw := vals.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q: want a nonnegative integer", raw)
+			return
+		}
+		limit = n
+	}
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
 		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
+	if limit >= 0 {
+		for i, j := 0, len(jobs)-1; i < j; i, j = i+1, j-1 {
+			jobs[i], jobs[j] = jobs[j], jobs[i]
+		}
+	}
 	out := make([]jobJSON, 0, len(jobs))
 	for _, j := range jobs {
-		out = append(out, j.snapshot(false))
+		snap := j.snapshot(false)
+		if stateFilter != "" && snap.State != stateFilter {
+			continue
+		}
+		if limit >= 0 && len(out) >= limit {
+			break
+		}
+		out = append(out, snap)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -413,6 +466,13 @@ func (s *Server) run(ctx context.Context, job *Job, sc scenario.Scenario, ticket
 		}
 		job.setRunning()
 		s.logf("job %s: running", job.id)
+		if s.tstore != nil {
+			// Only the single-flight leader reaches this closure, so every
+			// recorded run belongs to the job that actually executed.
+			sink := &jobSink{store: s.tstore, job: job.id, scenario: job.scenario}
+			sink.admitted(time.Since(job.created))
+			ctx = telemetry.ContextWithSink(ctx, sink)
+		}
 		r := &scenario.Runner{Pool: s.pool, Progress: job.record}
 		results, err := r.Run(ctx, []scenario.Scenario{sc}, job.params)
 		if err != nil && (len(results) == 0 || results[0].Err == nil) {

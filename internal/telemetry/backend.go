@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// chunkStat is one chunk's directory-listing entry.
+type chunkStat struct {
+	name string
+	size int64
+}
+
+// backend persists a store's runs at chunk granularity. Chunk names are
+// zero-padded sequence numbers so lexical order is append order. A
+// backend must tolerate readChunk racing appendChunk on the same chunk:
+// readers may observe a prefix of the final bytes (possibly ending in a
+// partial row, which decoding drops).
+type backend interface {
+	listRuns() ([]string, error)
+	listChunks(run string) ([]chunkStat, error)
+	readChunk(run, name string) ([]byte, error)
+	appendChunk(run, name string, data []byte) error
+	writeMeta(run string, data []byte) error
+	readMeta(run string) ([]byte, error)
+}
+
+// metaFile is the per-run metadata document of the file backend.
+const metaFile = "meta.json"
+
+// chunkSuffix marks chunk files; everything else in a run directory is
+// ignored (metadata, editor droppings).
+const chunkSuffix = ".rows"
+
+// chunkName formats the n-th chunk's name.
+func chunkName(n int) string { return fmt.Sprintf("%08d%s", n, chunkSuffix) }
+
+// --- file backend ---
+
+// fileBackend stores each run as a subdirectory of dir:
+//
+//	dir/<run>/meta.json
+//	dir/<run>/00000000.rows
+//	dir/<run>/00000001.rows
+//	...
+type fileBackend struct {
+	dir string
+}
+
+func newFileBackend(dir string) (*fileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: create store dir: %w", err)
+	}
+	return &fileBackend{dir: dir}, nil
+}
+
+func (b *fileBackend) listRuns() ([]string, error) {
+	ents, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var runs []string
+	for _, e := range ents {
+		if e.IsDir() {
+			runs = append(runs, e.Name())
+		}
+	}
+	sort.Strings(runs)
+	return runs, nil
+}
+
+func (b *fileBackend) listChunks(run string) ([]chunkStat, error) {
+	ents, err := os.ReadDir(filepath.Join(b.dir, run))
+	if err != nil {
+		return nil, err
+	}
+	var out []chunkStat
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), chunkSuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunkStat{name: e.Name(), size: info.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}
+
+func (b *fileBackend) readChunk(run, name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(b.dir, run, name))
+}
+
+func (b *fileBackend) appendChunk(run, name string, data []byte) error {
+	f, err := os.OpenFile(filepath.Join(b.dir, run, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+func (b *fileBackend) writeMeta(run string, data []byte) error {
+	dir := filepath.Join(b.dir, run)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, metaFile), data, 0o644)
+}
+
+func (b *fileBackend) readMeta(run string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(b.dir, run, metaFile))
+}
+
+// --- memory backend ---
+
+// memBackend keeps everything in process memory: the test backend, and
+// the zero-configuration sink for programs that want queryable telemetry
+// without a directory.
+type memBackend struct {
+	mu   sync.Mutex
+	runs map[string]*memRun
+}
+
+type memRun struct {
+	meta   []byte
+	order  []string
+	chunks map[string][]byte
+}
+
+func newMemBackend() *memBackend {
+	return &memBackend{runs: make(map[string]*memRun)}
+}
+
+func (b *memBackend) run(name string) *memRun {
+	r := b.runs[name]
+	if r == nil {
+		r = &memRun{chunks: make(map[string][]byte)}
+		b.runs[name] = r
+	}
+	return r
+}
+
+func (b *memBackend) listRuns() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.runs))
+	for name := range b.runs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *memBackend) listChunks(run string) ([]chunkStat, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.runs[run]
+	if r == nil {
+		return nil, os.ErrNotExist
+	}
+	out := make([]chunkStat, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, chunkStat{name: name, size: int64(len(r.chunks[name]))})
+	}
+	return out, nil
+}
+
+func (b *memBackend) readChunk(run, name string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.runs[run]
+	if r == nil {
+		return nil, os.ErrNotExist
+	}
+	data, ok := r.chunks[name]
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	// The stored slice is append-only and its length is captured here, so
+	// handing it out without a copy is safe under concurrent appends.
+	return data, nil
+}
+
+func (b *memBackend) appendChunk(run, name string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.run(run)
+	if _, ok := r.chunks[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.chunks[name] = append(r.chunks[name], data...)
+	return nil
+}
+
+func (b *memBackend) writeMeta(run string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.run(run).meta = data
+	return nil
+}
+
+func (b *memBackend) readMeta(run string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.runs[run]
+	if r == nil || r.meta == nil {
+		return nil, os.ErrNotExist
+	}
+	return r.meta, nil
+}

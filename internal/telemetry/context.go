@@ -1,0 +1,23 @@
+package telemetry
+
+import "context"
+
+// ctxKey is the private context key carrying a Sink.
+type ctxKey struct{}
+
+// ContextWithSink attaches a telemetry sink to ctx. coupling.RunContext
+// picks it up when its RunConfig carries no explicit sink, which is how
+// the job service records every simulation a scenario executes without
+// every scenario threading a store through its options.
+func ContextWithSink(ctx context.Context, s Sink) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SinkFromContext returns the sink attached by ContextWithSink, or nil.
+func SinkFromContext(ctx context.Context) Sink {
+	s, _ := ctx.Value(ctxKey{}).(Sink)
+	return s
+}

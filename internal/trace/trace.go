@@ -123,6 +123,19 @@ func (rt *RankTracer) AlignTo(t float64) {
 // Events returns the recorded intervals.
 func (rt *RankTracer) Events() []Event { return rt.events }
 
+// RestoreEvents replaces the rank's timeline with previously recorded
+// intervals (e.g. reloaded from the telemetry store) and resumes the
+// clock at the end of the last one. Because Advance only moves the
+// clock when it records an interval, a restored timeline is
+// indistinguishable from the original — Render output is byte-identical.
+func (rt *RankTracer) RestoreEvents(events []Event) {
+	rt.events = append(rt.events[:0], events...)
+	rt.clock = 0
+	if n := len(rt.events); n > 0 {
+		rt.clock = rt.events[n-1].End
+	}
+}
+
 // PhaseTotals sums the recorded durations per phase.
 func (rt *RankTracer) PhaseTotals() [NumPhases]float64 {
 	var tot [NumPhases]float64

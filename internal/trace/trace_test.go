@@ -104,3 +104,42 @@ func TestPhaseNames(t *testing.T) {
 		}
 	}
 }
+
+func TestRestoreEventsRendersIdentically(t *testing.T) {
+	orig := &RankTracer{Rank: 0}
+	orig.Advance(PhaseAssembly, 1.7)
+	orig.AlignTo(2.3000000000000003)
+	orig.Advance(PhaseParticles, 0.1)
+
+	restored := &RankTracer{Rank: 0}
+	restored.Advance(PhaseSGS, 99) // stale content must be replaced
+	restored.RestoreEvents(orig.Events())
+	if restored.Clock() != orig.Clock() {
+		t.Fatalf("clock %v, want %v", restored.Clock(), orig.Clock())
+	}
+	if len(restored.Events()) != len(orig.Events()) {
+		t.Fatalf("events %d, want %d", len(restored.Events()), len(orig.Events()))
+	}
+
+	a, b := NewTrace(1), NewTrace(1)
+	a.Ranks[0] = orig
+	b.Ranks[0] = restored
+	if a.Render(60, 4) != b.Render(60, 4) {
+		t.Fatal("restored timeline renders differently")
+	}
+	// The restored tracer keeps working: Advance continues at the clock.
+	restored.Advance(PhaseMPI, 1)
+	ev := restored.Events()
+	if ev[len(ev)-1].Start != orig.Clock() {
+		t.Fatalf("continued event starts at %v, want %v", ev[len(ev)-1].Start, orig.Clock())
+	}
+}
+
+func TestRestoreEventsEmpty(t *testing.T) {
+	rt := &RankTracer{}
+	rt.Advance(PhaseAssembly, 5)
+	rt.RestoreEvents(nil)
+	if rt.Clock() != 0 || len(rt.Events()) != 0 {
+		t.Fatalf("clock=%v events=%d after empty restore", rt.Clock(), len(rt.Events()))
+	}
+}
