@@ -10,6 +10,7 @@
 //	respira -strategy coloring -threads 2 -gens 3 -trace
 //	respira -inflow breathing:0.0008 -inject-every 1 -steps 4
 //	respira -sweep -sweep-d 2.5e-6,10e-6 -sweep-q 0.9,1.5
+//	respira -steps 40 -checkpoint /tmp/run.ckpt -checkpoint-every 10
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/checkpoint"
 	"repro/internal/coupling"
 	"repro/scenario"
 )
@@ -44,6 +46,9 @@ func main() {
 	sweepD := flag.String("sweep-d", "", "sweep axis: comma-separated particle diameters in meters (implies -sweep)")
 	sweepQ := flag.String("sweep-q", "", "sweep axis: comma-separated inlet face speeds in m/s (implies -sweep)")
 	sweepG := flag.String("sweep-g", "", "sweep axis: comma-separated mesh generations (implies -sweep)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint the run into this file and resume from it when present (single-run mode)")
+	ckptEvery := flag.Int("checkpoint-every", 10, "checkpoint capture period in steps (with -checkpoint)")
+	watchdog := flag.Duration("watchdog", 0, "stall bound per blocking exchange; a stuck rank fails the run with a typed error (0 = off)")
 	flag.Parse()
 
 	// Validate every flag before any simulation work: nonsensical counts
@@ -68,6 +73,7 @@ func main() {
 		{"gens", *gens, scenario.CheckPositive},
 		{"ranks-per-node", *ranksPerNode, scenario.CheckNonNegative},
 		{"inject-every", *injectEvery, scenario.CheckNonNegative},
+		{"checkpoint-every", *ckptEvery, scenario.CheckPositive},
 	} {
 		if err := c.fn(c.name, c.v); err != nil {
 			usage(err)
@@ -80,6 +86,9 @@ func main() {
 	runStrategy, err := scenario.ParseStrategy(*strategy)
 	if err != nil {
 		usage(err)
+	}
+	if *watchdog < 0 {
+		usage(fmt.Errorf("watchdog must be nonnegative, got %v", *watchdog))
 	}
 	var waveform scenario.Params
 	if *inflow != "" {
@@ -154,6 +163,13 @@ func main() {
 		cfg.Run.NS.Inflow = waveform.Inflow
 	}
 	cfg.Run.InjectEvery = *injectEvery
+	cfg.Run.Watchdog = *watchdog
+	if *ckptPath != "" {
+		cfg.Run.Checkpoint = &checkpoint.Plan{
+			Path: *ckptPath, Every: *ckptEvery, Resume: true,
+			OnError: func(err error) { fmt.Fprintln(os.Stderr, "respira: checkpoint:", err) },
+		}
+	}
 
 	res, err := repro.RunSimulation(cfg)
 	if err != nil {

@@ -14,7 +14,7 @@
 //	GET    /jobs/{id}                     status + progress events
 //	GET    /jobs/{id}/artifact?format=f   f in text|json|csv
 //	DELETE /jobs/{id}                     cancel at the next step boundary
-//	GET    /healthz                       liveness
+//	GET    /healthz                       liveness ("ok", "degraded", "draining")
 //	GET    /stats                         scheduler occupancy + cache hits/misses
 //
 // With -telemetry DIR every executed job also persists its run events
@@ -28,10 +28,25 @@
 //
 // The store survives restarts (crash-truncated chunks are recovered on
 // open) and is readable offline with `traceview -store DIR`.
+// -telemetry-max-runs N bounds retention: once a job finishes, runs
+// past the N newest are deleted, except runs of jobs that still have
+// checkpoints on disk (interrupted but resumable).
+//
+// Fault tolerance: with -checkpoint DIR, accepted jobs write a manifest
+// and their simulations checkpoint every -checkpoint-every steps, so a
+// killed process resumes on restart — manifests are resubmitted under
+// their original IDs and interrupted runs continue mid-simulation.
+// -watchdog bounds every blocking exchange of every simulation; a
+// stalled rank surfaces as a typed error, and -retries N retries such
+// transient failures with capped exponential backoff. On SIGTERM the
+// server drains: new submissions get 503 + Retry-After while running
+// jobs finish (bounded by -drain-timeout), checkpointing what doesn't.
 //
 // Example:
 //
-//	respirad -addr :8080 -capacity 1536 -queue 64 -ttl 15m -telemetry /var/lib/respirad/telemetry
+//	respirad -addr :8080 -capacity 1536 -queue 64 -ttl 15m \
+//	  -telemetry /var/lib/respirad/telemetry -telemetry-max-runs 1000 \
+//	  -checkpoint /var/lib/respirad/ckpt -watchdog 30s -retries 3
 package main
 
 import (
@@ -60,6 +75,13 @@ func main() {
 	ttl := flag.Duration("ttl", 15*time.Minute, "artifact cache TTL")
 	workers := flag.Int("workers", runtime.NumCPU(), "shared runner pool workers")
 	telemetryDir := flag.String("telemetry", "", "persist run telemetry into this store directory (empty = off)")
+	maxRuns := flag.Int("telemetry-max-runs", 0, "retain at most N telemetry runs, pruning the oldest whose jobs hold no checkpoints (0 = keep all)")
+	ckptDir := flag.String("checkpoint", "", "job manifests and simulation checkpoints directory: jobs survive restarts and resume mid-run (empty = off)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint capture period in simulation steps (0 = default 25)")
+	watchdog := flag.Duration("watchdog", 0, "per-operation stall bound for simulation exchanges; stalled ranks fail fast with a typed error (0 = off)")
+	retries := flag.Int("retries", 0, "retry a job's transient failures (stalls, injected faults) up to N times with capped exponential backoff")
+	deadline := flag.Duration("deadline", 0, "default per-job deadline for jobs that send no deadlineMs (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for running jobs before shutting down")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -79,6 +101,16 @@ func main() {
 	if *ttl <= 0 {
 		fail(fmt.Errorf("ttl must be positive, got %v", *ttl))
 	}
+	for name, v := range map[string]int{
+		"telemetry-max-runs": *maxRuns, "checkpoint-every": *ckptEvery, "retries": *retries,
+	} {
+		if err := scenario.CheckNonNegative(name, v); err != nil {
+			fail(err)
+		}
+	}
+	if *watchdog < 0 || *deadline < 0 || *drainTimeout < 0 {
+		fail(fmt.Errorf("watchdog, deadline, and drain-timeout must be nonnegative"))
+	}
 
 	var tstore *telemetry.Store
 	if *telemetryDir != "" {
@@ -92,15 +124,27 @@ func main() {
 	pool := tasking.NewPool(*workers)
 	defer pool.Close()
 	srv := service.New(service.Config{
-		Capacity:   *capacity,
-		MaxQueue:   *queue,
-		CacheTTL:   *ttl,
-		RunnerPool: pool,
-		Telemetry:  tstore,
+		Capacity:         *capacity,
+		MaxQueue:         *queue,
+		CacheTTL:         *ttl,
+		RunnerPool:       pool,
+		Telemetry:        tstore,
+		TelemetryMaxRuns: *maxRuns,
+		MaxRetries:       *retries,
+		DefaultDeadline:  *deadline,
+		CheckpointDir:    *ckptDir,
+		CheckpointEvery:  *ckptEvery,
+		Watchdog:         *watchdog,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "respirad: "+format+"\n", args...)
 		},
 	})
+
+	// Resubmit jobs the previous process left behind before opening the
+	// listener, so their old URLs answer from the first request.
+	if recovered := srv.Recover(); len(recovered) > 0 {
+		fmt.Fprintf(os.Stderr, "respirad: recovered %d interrupted jobs from %s\n", len(recovered), *ckptDir)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -114,6 +158,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "respirad: recording run telemetry into %s (%d runs on open)\n",
 			*telemetryDir, tstore.RunCount())
 	}
+	if *ckptDir != "" {
+		fmt.Fprintf(os.Stderr, "respirad: checkpointing jobs into %s (every %d steps)\n", *ckptDir, func() int {
+			if *ckptEvery > 0 {
+				return *ckptEvery
+			}
+			return 25
+		}())
+	}
 
 	select {
 	case err := <-errc:
@@ -122,8 +174,26 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "respirad: shutting down")
-		srv.Close() // cancel in-flight jobs at their next step boundary
+		// Drain: reject new submissions with 503 + Retry-After while
+		// running jobs finish. A second signal, or the drain timeout,
+		// cancels what is left — with -checkpoint set those jobs resume
+		// on the next start.
+		srv.BeginDrain()
+		fmt.Fprintf(os.Stderr, "respirad: draining %d active jobs (up to %v; signal again to stop now)\n",
+			srv.ActiveJobs(), *drainTimeout)
+		stop() // restore default signal handling: a second SIGTERM kills the wait below
+		drained := time.After(*drainTimeout)
+		tick := time.NewTicker(100 * time.Millisecond)
+	wait:
+		for srv.ActiveJobs() > 0 {
+			select {
+			case <-drained:
+				break wait
+			case <-tick.C:
+			}
+		}
+		tick.Stop()
+		srv.Close() // cancel whatever is left at its next step boundary
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutCtx) //nolint:errcheck

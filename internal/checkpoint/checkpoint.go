@@ -1,0 +1,418 @@
+// Package checkpoint serializes the deterministic simulation state of a
+// coupled run — solver vectors, particle SoA store, per-rank virtual
+// trace, counters, step index and sim time — so an interrupted run can
+// resume and finish byte-identical to an uninterrupted one (the repo's
+// standing determinism contract).
+//
+// A snapshot is a single binary file written atomically: the encoder
+// writes <path>.tmp and renames it over <path>, so a reader only ever
+// observes a complete snapshot (the same invariant the telemetry store
+// relies on for its meta files). The format is versioned and carries a
+// config fingerprint; Load rejects files whose version or fingerprint
+// does not match, which callers treat as "no checkpoint" and start
+// fresh.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Format constants. The magic and version gate decoding; the footer
+// detects truncation of a file that was not atomically renamed into
+// place (it should never happen, but a cheap guard beats a confusing
+// mid-buffer decode error).
+const (
+	magic   = "RSPCKPT1"
+	footer  = "END!"
+	version = 1
+)
+
+// ErrMismatch reports a checkpoint whose fingerprint does not match the
+// run configuration attempting to resume from it.
+var ErrMismatch = errors.New("checkpoint: config fingerprint mismatch")
+
+// SolverState is one rank's Navier-Stokes state at a step boundary.
+// Uold is deliberately absent: Step overwrites it from U before reading
+// it, so it is dead state between steps.
+type SolverState struct {
+	StepIndex int64
+	U         [3][]float64
+	P         []float64
+	SGS       []float64 // subgrid vectors, 3 floats per local element
+}
+
+// ParticleState is one rank's tracker state: the active SoA store plus
+// the fate counters and ID cursor.
+type ParticleState struct {
+	ID            []int64
+	Pos, Vel, Acc []float64 // 3 floats per particle
+	Elem          []int32
+	Deposited     int64
+	Exited        int64
+	WorkUnits     int64
+	NextID        int64
+}
+
+// TraceState is one rank's virtual-time event log, column-wise.
+type TraceState struct {
+	Phases []uint8
+	Starts []float64
+	Ends   []float64
+}
+
+// RankState is everything one rank contributes to a snapshot.
+type RankState struct {
+	HasSolver    bool
+	Solver       SolverState
+	HasParticles bool
+	Particles    ParticleState
+	Trace        TraceState
+	Injected     int64
+	Workers      int64 // DLB worker target at capture (best effort)
+}
+
+// Snapshot is a whole-world checkpoint at one step boundary.
+type Snapshot struct {
+	Fingerprint string
+	Step        int64 // last completed step (zero-based)
+	SimTime     float64
+	StepClocks  []float64 // rank 0's per-step virtual clocks, if recorded
+	Ranks       []RankState
+}
+
+// New creates an empty snapshot with slots for the given rank count.
+func New(fingerprint string, ranks int) *Snapshot {
+	return &Snapshot{Fingerprint: fingerprint, Ranks: make([]RankState, ranks)}
+}
+
+// --- encoding ---
+
+type enc struct{ buf []byte }
+
+func (e *enc) u8(v uint8)    { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) i64(v int64)   { e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v)) }
+func (e *enc) f64(v float64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v)) }
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) f64s(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+func (e *enc) i64s(v []int64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.i64(x)
+	}
+}
+
+func (e *enc) i32s(v []int32) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+}
+
+func (e *enc) u8s(v []uint8) {
+	e.u32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Encode renders the snapshot into its binary form.
+func (s *Snapshot) Encode() []byte {
+	e := &enc{buf: make([]byte, 0, 1<<16)}
+	e.buf = append(e.buf, magic...)
+	e.u32(version)
+	e.str(s.Fingerprint)
+	e.i64(s.Step)
+	e.f64(s.SimTime)
+	e.f64s(s.StepClocks)
+	e.u32(uint32(len(s.Ranks)))
+	for i := range s.Ranks {
+		r := &s.Ranks[i]
+		var flags uint8
+		if r.HasSolver {
+			flags |= 1
+		}
+		if r.HasParticles {
+			flags |= 2
+		}
+		e.u8(flags)
+		e.i64(r.Injected)
+		e.i64(r.Workers)
+		if r.HasSolver {
+			e.i64(r.Solver.StepIndex)
+			for c := 0; c < 3; c++ {
+				e.f64s(r.Solver.U[c])
+			}
+			e.f64s(r.Solver.P)
+			e.f64s(r.Solver.SGS)
+		}
+		if r.HasParticles {
+			p := &r.Particles
+			e.i64s(p.ID)
+			e.f64s(p.Pos)
+			e.f64s(p.Vel)
+			e.f64s(p.Acc)
+			e.i32s(p.Elem)
+			e.i64(p.Deposited)
+			e.i64(p.Exited)
+			e.i64(p.WorkUnits)
+			e.i64(p.NextID)
+		}
+		e.u8s(r.Trace.Phases)
+		e.f64s(r.Trace.Starts)
+		e.f64s(r.Trace.Ends)
+	}
+	e.buf = append(e.buf, footer...)
+	return e.buf
+}
+
+// --- decoding ---
+
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("checkpoint: truncated at offset %d", d.off)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) i64() int64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (d *dec) f64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// length reads a collection length and sanity-checks it against the
+// remaining bytes (each element is at least elemSize bytes), so a
+// corrupt length cannot provoke a huge allocation.
+func (d *dec) length(elemSize int) int {
+	n := int(d.u32())
+	if d.err == nil && n*elemSize > len(d.buf)-d.off {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func (d *dec) str() string {
+	n := d.length(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *dec) f64s() []float64 {
+	n := d.length(8)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.f64()
+	}
+	return v
+}
+
+func (d *dec) i64s() []int64 {
+	n := d.length(8)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = d.i64()
+	}
+	return v
+}
+
+func (d *dec) i32s() []int32 {
+	n := d.length(4)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = int32(d.u32())
+	}
+	return v
+}
+
+func (d *dec) u8s() []uint8 {
+	n := d.length(1)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	v := make([]uint8, n)
+	copy(v, b)
+	return v
+}
+
+// Decode parses a snapshot from its binary form.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
+		return nil, errors.New("checkpoint: bad magic")
+	}
+	if len(data) < len(magic)+len(footer) || string(data[len(data)-len(footer):]) != footer {
+		return nil, errors.New("checkpoint: missing footer (truncated write)")
+	}
+	d := &dec{buf: data[:len(data)-len(footer)], off: len(magic)}
+	if v := d.u32(); v != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	s := &Snapshot{}
+	s.Fingerprint = d.str()
+	s.Step = d.i64()
+	s.SimTime = d.f64()
+	s.StepClocks = d.f64s()
+	nr := d.length(1)
+	if d.err != nil {
+		return nil, d.err
+	}
+	s.Ranks = make([]RankState, nr)
+	for i := range s.Ranks {
+		r := &s.Ranks[i]
+		flags := d.u8()
+		r.HasSolver = flags&1 != 0
+		r.HasParticles = flags&2 != 0
+		r.Injected = d.i64()
+		r.Workers = d.i64()
+		if r.HasSolver {
+			r.Solver.StepIndex = d.i64()
+			for c := 0; c < 3; c++ {
+				r.Solver.U[c] = d.f64s()
+			}
+			r.Solver.P = d.f64s()
+			r.Solver.SGS = d.f64s()
+		}
+		if r.HasParticles {
+			p := &r.Particles
+			p.ID = d.i64s()
+			p.Pos = d.f64s()
+			p.Vel = d.f64s()
+			p.Acc = d.f64s()
+			p.Elem = d.i32s()
+			p.Deposited = d.i64()
+			p.Exited = d.i64()
+			p.WorkUnits = d.i64()
+			p.NextID = d.i64()
+		}
+		r.Trace.Phases = d.u8s()
+		r.Trace.Starts = d.f64s()
+		r.Trace.Ends = d.f64s()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return s, nil
+}
+
+// Save writes the snapshot atomically: encode into <path>.tmp, fsync,
+// rename over <path>. A reader (or a resuming process) therefore only
+// ever sees a complete snapshot; a crash mid-write leaves at worst a
+// stale .tmp next to the previous good checkpoint.
+func (s *Snapshot) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(s.Encode()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads and decodes the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// LoadMatching loads the snapshot at path if it exists and carries the
+// given fingerprint. A missing file returns (nil, nil) — no checkpoint,
+// start fresh. A fingerprint or version mismatch returns ErrMismatch
+// (wrapped); callers normally also treat that as "start fresh", logging
+// it, since it means the configuration changed under the checkpoint.
+func LoadMatching(path, fingerprint string) (*Snapshot, error) {
+	s, err := Load(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if s.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("%w: have %q, want %q", ErrMismatch, s.Fingerprint, fingerprint)
+	}
+	return s, nil
+}

@@ -1,0 +1,91 @@
+package checkpoint
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+)
+
+// Plan tells a run whether and where to checkpoint. It travels on
+// coupling.RunConfig or, for service-submitted jobs, through the
+// context (see ContextWithProvider), mirroring how telemetry sinks are
+// threaded.
+type Plan struct {
+	// Every checkpoints after each multiple of Every completed steps
+	// (at the step boundary, off the hot path). <= 0 disables capture.
+	Every int
+	// Path is the snapshot file; writes go to Path+".tmp" then rename.
+	Path string
+	// Resume attempts to restore from Path before the first step. A
+	// missing or mismatched snapshot silently starts fresh.
+	Resume bool
+	// OnError, if set, observes capture/restore problems. Checkpointing
+	// is best-effort by design: a failed capture never fails the run.
+	OnError func(error)
+}
+
+// Report forwards err to OnError when both are non-nil.
+func (p *Plan) Report(err error) {
+	if p != nil && p.OnError != nil && err != nil {
+		p.OnError(err)
+	}
+}
+
+// Provider hands out one Plan per simulation run. A job that executes
+// several runs (calibration probe + measured run, sweep points) gets a
+// distinct checkpoint file per run, in execution order — deterministic,
+// so a resumed job re-requests the same sequence.
+type Provider interface {
+	NextPlan() *Plan
+}
+
+type providerCtxKey struct{}
+
+// ContextWithProvider attaches a checkpoint plan provider to the
+// context; coupling.RunContext consults it when RunConfig.Checkpoint is
+// nil, exactly as telemetry.SinkFromContext backs RunConfig.Telemetry.
+func ContextWithProvider(ctx context.Context, p Provider) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, providerCtxKey{}, p)
+}
+
+// ProviderFromContext extracts the provider, or nil.
+func ProviderFromContext(ctx context.Context) Provider {
+	p, _ := ctx.Value(providerCtxKey{}).(Provider)
+	return p
+}
+
+// DirProvider numbers checkpoint files under a directory, naming them
+// <base>.ckpt, <base>.2.ckpt, ... — the same suffix scheme the service
+// telemetry sink uses for a job's runs, so run N's telemetry and
+// checkpoint correlate by name.
+type DirProvider struct {
+	Dir     string
+	Base    string
+	Every   int
+	OnError func(error)
+
+	mu sync.Mutex
+	n  int
+}
+
+// NextPlan returns the plan for the job's next run.
+func (p *DirProvider) NextPlan() *Plan {
+	p.mu.Lock()
+	p.n++
+	n := p.n
+	p.mu.Unlock()
+	name := p.Base
+	if n > 1 {
+		name = fmt.Sprintf("%s.%d", p.Base, n)
+	}
+	return &Plan{
+		Every:   p.Every,
+		Path:    filepath.Join(p.Dir, name+".ckpt"),
+		Resume:  true,
+		OnError: p.OnError,
+	}
+}

@@ -1,0 +1,191 @@
+package coupling
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/simmpi"
+)
+
+// runInterrupted executes cfg with checkpointing on and cancels it from
+// the OnStep hook at cancelAt, returning the checkpoint path. The cancel
+// lands after a capture boundary, so a matching snapshot exists.
+func runInterrupted(t *testing.T, cfg RunConfig, every, cancelAt int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg.Checkpoint = &checkpoint.Plan{Every: every, Path: path,
+		OnError: func(err error) { t.Errorf("checkpoint error: %v", err) }}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	prev := cfg.OnStep
+	cfg.OnStep = func(step int) {
+		if prev != nil {
+			prev(step)
+		}
+		if step == cancelAt {
+			cancel()
+		}
+	}
+	m := testMesh(t)
+	if _, err := RunContext(ctx, m, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	return path
+}
+
+// resumeAndCompare finishes the interrupted run from its checkpoint and
+// pins the result against the uninterrupted reference: identical trace
+// render, particle counters and makespan.
+func resumeAndCompare(t *testing.T, cfg RunConfig, path string, ref *RunResult) {
+	t.Helper()
+	cfg.OnStep = nil
+	cfg.Checkpoint = &checkpoint.Plan{Path: path, Resume: true,
+		OnError: func(err error) { t.Errorf("resume error: %v", err) }}
+	m := testMesh(t)
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Trace.Render(100, 0), ref.Trace.Render(100, 0); got != want {
+		t.Fatalf("resumed trace render differs from uninterrupted run:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+	if res.Makespan != ref.Makespan {
+		t.Fatalf("makespan %v != %v", res.Makespan, ref.Makespan)
+	}
+	if res.Injected != ref.Injected || res.Deposited != ref.Deposited ||
+		res.Exited != ref.Exited || res.ActiveEnd != ref.ActiveEnd {
+		t.Fatalf("counters (%d,%d,%d,%d) != (%d,%d,%d,%d)",
+			res.Injected, res.Deposited, res.Exited, res.ActiveEnd,
+			ref.Injected, ref.Deposited, ref.Exited, ref.ActiveEnd)
+	}
+}
+
+// TestResumeDeterminismSynchronous: kill a synchronous run two steps past
+// its last checkpoint, resume it, and require the finished run to be
+// indistinguishable from one that was never interrupted — including when
+// the resumed run uses a different worker count (the fingerprint
+// deliberately ignores WorkersPerRank; results are bit-identical at any
+// worker count).
+func TestResumeDeterminismSynchronous(t *testing.T) {
+	for _, resumeWorkers := range []int{1, 4} {
+		t.Run(map[int]string{1: "workers1", 4: "workers4"}[resumeWorkers], func(t *testing.T) {
+			cfg := fastCfg()
+			cfg.FluidRanks = 4
+			cfg.Steps = 6
+			cfg.InjectEvery = 2
+			ref, err := Run(testMesh(t), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := runInterrupted(t, cfg, 2, 2) // checkpoint after step 1, die during step 2
+			cfg.WorkersPerRank = resumeWorkers
+			resumeAndCompare(t, cfg, path, ref)
+		})
+	}
+}
+
+// TestResumeDeterminismCoupled: the same pin across the fluid/particle
+// split, where resume must also replay the velocity shipments.
+func TestResumeDeterminismCoupled(t *testing.T) {
+	for _, resumeWorkers := range []int{1, 4} {
+		t.Run(map[int]string{1: "workers1", 4: "workers4"}[resumeWorkers], func(t *testing.T) {
+			cfg := fastCfg()
+			cfg.Mode = Coupled
+			cfg.FluidRanks = 3
+			cfg.ParticleRanks = 2
+			cfg.Steps = 6
+			cfg.InjectEvery = 2
+			ref, err := Run(testMesh(t), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := runInterrupted(t, cfg, 2, 3) // checkpoint after steps 1 and 3, die during step 3
+			cfg.WorkersPerRank = resumeWorkers
+			resumeAndCompare(t, cfg, path, ref)
+		})
+	}
+}
+
+// TestResumeSkipsMismatchedSnapshot: a snapshot from a different
+// configuration must be reported and ignored — the run starts fresh and
+// still produces the correct result.
+func TestResumeSkipsMismatchedSnapshot(t *testing.T) {
+	cfg := fastCfg()
+	cfg.FluidRanks = 4
+	cfg.Steps = 4
+	path := runInterrupted(t, cfg, 2, 2)
+
+	other := cfg
+	other.Seed = 99 // different trajectory, different fingerprint
+	ref, err := Run(testMesh(t), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mismatches atomic.Int32
+	other.OnStep = nil
+	other.Checkpoint = &checkpoint.Plan{Path: path, Resume: true,
+		OnError: func(err error) {
+			if errors.Is(err, checkpoint.ErrMismatch) {
+				mismatches.Add(1)
+			} else {
+				t.Errorf("unexpected checkpoint error: %v", err)
+			}
+		}}
+	res, err := Run(testMesh(t), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatches.Load() == 0 {
+		t.Fatal("fingerprint mismatch was not reported")
+	}
+	if res.Trace.Render(100, 0) != ref.Trace.Render(100, 0) {
+		t.Fatal("fresh-start run after mismatch differs from plain run")
+	}
+}
+
+// TestCheckpointProviderFromContext: with no plan on the config, the run
+// must pick one up from the context provider — the service layer's path.
+func TestCheckpointProviderFromContext(t *testing.T) {
+	dir := t.TempDir()
+	prov := &checkpoint.DirProvider{Dir: dir, Base: "job", Every: 1}
+	ctx := checkpoint.ContextWithProvider(context.Background(), prov)
+	cfg := fastCfg()
+	cfg.FluidRanks = 4
+	cfg.Steps = 3
+	if _, err := RunContext(ctx, testMesh(t), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "job.ckpt")); err != nil {
+		t.Fatalf("provider-driven checkpoint missing: %v", err)
+	}
+}
+
+// TestFaultPlanSurfacesStall: a dropped migration receive under a
+// watchdog must fail the run with the typed stall error instead of
+// hanging — the fault path the service retries on.
+func TestFaultPlanSurfacesStall(t *testing.T) {
+	cfg := fastCfg()
+	cfg.FluidRanks = 4
+	cfg.Steps = 4
+	cfg.Watchdog = 200 * time.Millisecond
+	cfg.FaultPlan = &simmpi.FaultPlan{Rules: []simmpi.FaultRule{
+		{Rank: 1, Op: simmpi.FaultCollective, Tag: -1, Step: 2, Nth: 1, Action: simmpi.FaultDrop},
+	}}
+	_, err := Run(testMesh(t), cfg)
+	var stall *simmpi.ErrRankStalled
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v, want *simmpi.ErrRankStalled", err)
+	}
+	if stall.Step != 2 {
+		t.Fatalf("stall at step %d, want 2", stall.Step)
+	}
+}

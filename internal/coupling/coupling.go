@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/dlb"
 	"repro/internal/mesh"
 	"repro/internal/navierstokes"
@@ -107,6 +108,25 @@ type RunConfig struct {
 	// context (telemetry.ContextWithSink); nil records nothing.
 	// Telemetry never fails a run: sink errors are dropped.
 	Telemetry telemetry.Sink
+
+	// Watchdog bounds every blocking MPI operation: a rank still
+	// waiting after this long fails the run with a typed
+	// *simmpi.ErrRankStalled instead of hanging the world. Zero
+	// disables it; RunContext falls back to ContextWithWatchdog.
+	Watchdog time.Duration
+
+	// FaultPlan injects deterministic communication faults (delay,
+	// drop, error) for chaos testing; see simmpi.FaultPlan. Nil runs
+	// fault-free with zero overhead.
+	FaultPlan *simmpi.FaultPlan
+
+	// Checkpoint enables periodic snapshot capture (Plan.Every steps,
+	// rank-0 coordinated at step boundaries, atomically renamed into
+	// Plan.Path) and — with Plan.Resume — restoring from an existing
+	// snapshot so the finished run's trace render and artifact are
+	// byte-identical to an uninterrupted run. RunContext falls back to
+	// a checkpoint.Provider attached to the context. Nil disables.
+	Checkpoint *checkpoint.Plan
 }
 
 // DefaultRunConfig returns a small synchronous run.
@@ -169,6 +189,14 @@ func RunContext(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 	}
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.SinkFromContext(ctx)
+	}
+	if cfg.Checkpoint == nil {
+		if p := checkpoint.ProviderFromContext(ctx); p != nil {
+			cfg.Checkpoint = p.NextPlan()
+		}
+	}
+	if cfg.Watchdog <= 0 {
+		cfg.Watchdog = WatchdogFromContext(ctx)
 	}
 	switch cfg.Mode {
 	case Synchronous:
@@ -278,7 +306,14 @@ func newWorld(cfg RunConfig, size int) (*simmpi.World, *dlb.DLB, []*tasking.Pool
 	if rpn <= 0 {
 		rpn = size
 	}
-	world, err := simmpi.NewWorld(size, simmpi.WithRanksPerNode(rpn), simmpi.WithBlockingHooks(d))
+	opts := []simmpi.Option{simmpi.WithRanksPerNode(rpn), simmpi.WithBlockingHooks(d)}
+	if cfg.Watchdog > 0 {
+		opts = append(opts, simmpi.WithWatchdog(cfg.Watchdog))
+	}
+	if cfg.FaultPlan != nil {
+		opts = append(opts, simmpi.WithFaultPlan(cfg.FaultPlan))
+	}
+	world, err := simmpi.NewWorld(size, opts...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -313,6 +348,9 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 	}
 	defer closePools(pools)
 
+	resume, snap, startStep := cfg.prepCheckpoint(m, n)
+	saver := &ckptSaver{plan: cfg.Checkpoint, snap: snap, cfg: &cfg}
+
 	tr := trace.NewTrace(n)
 	reserveTrace(tr, cfg.Steps)
 	res := &RunResult{Trace: tr}
@@ -323,10 +361,15 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 	cancel := newStepCanceller(ctx)
 	// Step-boundary clocks for telemetry, recorded by rank 0 only and
 	// read after world.Run joins every rank goroutine. Preallocated so
-	// the step loop stays allocation-free.
+	// the step loop stays allocation-free. On resume the completed steps'
+	// clocks come straight from the snapshot so the telemetry timeline is
+	// whole.
 	var stepClocks []float64
 	if cfg.Telemetry != nil {
 		stepClocks = make([]float64, 0, cfg.Steps)
+		if resume != nil {
+			stepClocks = append(stepClocks, resume.StepClocks...)
+		}
 	}
 
 	start := time.Now()
@@ -343,8 +386,12 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 		tk.SetPool(pools[id])
 		peers := haloPeers(rms[id])
 		velAt := ns.VelocityAt // hoisted: a per-step method value would allocate
+		if resume != nil {
+			restoreRank(resume, id, ns, tk, tr.Ranks[id], &injected[id], d)
+		}
 
-		for step := 0; step < cfg.Steps; step++ {
+		for step := startStep; step < cfg.Steps; step++ {
+			r.SetStep(step)
 			if cancel.next(r.Comm) {
 				break
 			}
@@ -368,6 +415,20 @@ func runSynchronous(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResul
 				if cfg.OnStep != nil {
 					cfg.OnStep(step)
 				}
+			}
+			if saver.due(step) {
+				// Boundary capture: every rank snapshots its quiescent
+				// state, the first barrier proves every message of this
+				// step was consumed, rank 0 writes the file, the second
+				// barrier holds the world until it is on disk. Barriers
+				// do not advance virtual clocks, so the trace is
+				// unaffected.
+				captureRank(snap, id, ns, tk, tr.Ranks[id], injected[id], d)
+				r.Comm.Barrier()
+				if id == 0 {
+					saver.save(step, stepClocks)
+				}
+				r.Comm.Barrier()
 			}
 		}
 		a, dd, ee := tk.Counts()
@@ -455,6 +516,9 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 	}
 	defer closePools(pools)
 
+	resume, snap, startStep := cfg.prepCheckpoint(m, total)
+	saver := &ckptSaver{plan: cfg.Checkpoint, snap: snap, cfg: &cfg}
+
 	tr := trace.NewTrace(total)
 	reserveTrace(tr, cfg.Steps)
 	res := &RunResult{Trace: tr}
@@ -468,6 +532,9 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 	var stepClocks []float64
 	if cfg.Telemetry != nil {
 		stepClocks = make([]float64, 0, cfg.Steps)
+		if resume != nil {
+			stepClocks = append(stepClocks, resume.StepClocks...)
+		}
 	}
 
 	start := time.Now()
@@ -485,7 +552,11 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 			if err != nil {
 				panic(err)
 			}
-			for step := 0; step < cfg.Steps; step++ {
+			if resume != nil {
+				restoreRank(resume, id, ns, nil, tr.Ranks[id], &injected[id], d)
+			}
+			for step := startStep; step < cfg.Steps; step++ {
+				r.SetStep(step)
 				// The cancel collective spans the WHOLE world (not the
 				// fluid sub-communicator), so both codes agree on the
 				// stopping step and no shipped velocity goes unconsumed.
@@ -519,6 +590,18 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 						cfg.OnStep(step)
 					}
 				}
+				if saver.due(step) {
+					// Boundary capture across BOTH codes: the world-level
+					// barrier proves every velocity shipment, migration
+					// and halo message of this step was consumed before
+					// rank 0 writes the file.
+					captureRank(snap, id, ns, nil, tr.Ranks[id], injected[id], d)
+					r.Comm.Barrier()
+					if id == 0 {
+						saver.save(step, stepClocks)
+					}
+					r.Comm.Barrier()
+				}
 			}
 			return
 		}
@@ -540,7 +623,11 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 			}
 			return mesh.Vec3{}
 		}
-		for step := 0; step < cfg.Steps; step++ {
+		if resume != nil {
+			restoreRank(resume, id, nil, tk, tr.Ranks[id], &injected[id], d)
+		}
+		for step := startStep; step < cfg.Steps; step++ {
+			r.SetStep(step)
 			// Mirror of the fluid loop's world-level cancel collective.
 			if cancel.next(r.Comm) {
 				break
@@ -574,6 +661,14 @@ func runCoupled(ctx context.Context, m *mesh.Mesh, cfg RunConfig) (*RunResult, e
 			tr.Ranks[id].Advance(trace.PhaseParticles, float64(tk.WorkUnits-w0)*cfg.ParticleUnit)
 			maxClock := sub.AllreduceFloat64(tr.Ranks[id].Clock(), simmpi.OpMax)
 			tr.Ranks[id].AlignTo(maxClock)
+			if saver.due(step) {
+				// Particle half of the capture: two world barriers
+				// matching the fluid loop's, with rank 0's file write in
+				// between on the fluid side.
+				captureRank(snap, id, nil, tk, tr.Ranks[id], injected[id], d)
+				r.Comm.Barrier()
+				r.Comm.Barrier()
+			}
 		}
 		a, dd, ee := tk.Counts()
 		deposited[id], exited[id], activeEnd[id] = dd, ee, a

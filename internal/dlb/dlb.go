@@ -234,6 +234,22 @@ func (d *DLB) Migrations() []Migration {
 	return append([]Migration(nil), d.migs...)
 }
 
+// RestoreTarget pushes a checkpointed worker target back onto a rank's
+// pool through DLB's own bookkeeping, so a resumed run restarts from the
+// allocation it was killed with instead of the registration default. It
+// is best-effort state — the next rebalance may move the target again —
+// and is not logged as a migration (it is a restore, not a decision).
+func (d *DLB) RestoreTarget(rank, workers int) {
+	if workers < 1 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p := d.ranks[rank]; p != nil {
+		p.setTarget(workers)
+	}
+}
+
 // WorkersOf reports the current worker target of a rank's pool (testing
 // and tracing aid).
 func (d *DLB) WorkersOf(rank int) int {

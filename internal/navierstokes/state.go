@@ -1,0 +1,50 @@
+package navierstokes
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/mesh"
+)
+
+// CaptureState copies the solver's cross-step state into dst, reusing
+// dst's slices when they are large enough. Uold is intentionally
+// omitted: Step overwrites it from U before reading it, so it carries no
+// information across a step boundary. The matrices, preconditioners and
+// workspaces are rebuilt identically by NewSolver and need no capture.
+func (s *Solver) CaptureState(dst *checkpoint.SolverState) {
+	dst.StepIndex = int64(s.stepIndex)
+	for c := 0; c < 3; c++ {
+		dst.U[c] = append(dst.U[c][:0], s.U[c]...)
+	}
+	dst.P = append(dst.P[:0], s.P...)
+	dst.SGS = dst.SGS[:0]
+	for _, v := range s.SGS {
+		dst.SGS = append(dst.SGS, v.X, v.Y, v.Z)
+	}
+}
+
+// RestoreState loads a captured state into a freshly constructed solver
+// for the same mesh and partition; lengths must match exactly.
+func (s *Solver) RestoreState(src *checkpoint.SolverState) error {
+	for c := 0; c < 3; c++ {
+		if len(src.U[c]) != len(s.U[c]) {
+			return fmt.Errorf("navierstokes: restore U[%d]: have %d nodes, snapshot %d", c, len(s.U[c]), len(src.U[c]))
+		}
+	}
+	if len(src.P) != len(s.P) {
+		return fmt.Errorf("navierstokes: restore P: have %d nodes, snapshot %d", len(s.P), len(src.P))
+	}
+	if len(src.SGS) != 3*len(s.SGS) {
+		return fmt.Errorf("navierstokes: restore SGS: have %d elems, snapshot %d floats", len(s.SGS), len(src.SGS))
+	}
+	for c := 0; c < 3; c++ {
+		copy(s.U[c], src.U[c])
+	}
+	copy(s.P, src.P)
+	for e := range s.SGS {
+		s.SGS[e] = mesh.Vec3{X: src.SGS[3*e], Y: src.SGS[3*e+1], Z: src.SGS[3*e+2]}
+	}
+	s.stepIndex = int(src.StepIndex)
+	return nil
+}

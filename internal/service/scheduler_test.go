@@ -3,6 +3,9 @@ package service
 import (
 	"context"
 	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -215,6 +218,48 @@ func TestSchedulerCostClamp(t *testing.T) {
 		t.Fatal(err)
 	}
 	other.Done()
+}
+
+// TestDeleteDuringBackoffLeaksNoSlot: a retrying job holds neither run
+// capacity nor a queue slot while backing off, a DELETE lands
+// immediately (it does not wait out the backoff), and afterwards the
+// scheduler is exactly as empty as before the job existed.
+func TestDeleteDuringBackoffLeaksNoSlot(t *testing.T) {
+	var runs atomic.Int32
+	srv := New(Config{Registry: flakyRegistry(1<<30, &runs), Capacity: 1, MaxQueue: 1,
+		MaxRetries: 10, RetryBaseDelay: time.Minute, RetryMaxDelay: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	env := &testEnv{ts: ts, srv: srv}
+
+	id := env.submit(t, `{"scenario":"flaky"}`)
+	waitFor(t, "job to enter backoff", func() bool { return env.status(t, id).State == StateRetrying })
+	if st := srv.Scheduler().Stats(); st.UsedCost != 0 || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("scheduler holds resources during backoff: %+v", st)
+	}
+	start := time.Now()
+	if code, _ := env.do(t, "DELETE", "/jobs/"+id, ""); code != http.StatusOK {
+		t.Fatal("DELETE failed")
+	}
+	if j := env.await(t, id); j.State != StateCancelled {
+		t.Fatalf("state after delete = %s", j.State)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("cancel took %v: the DELETE waited out the backoff", waited)
+	}
+	if st := srv.Scheduler().Stats(); st.UsedCost != 0 || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("scheduler leaked a slot: %+v", st)
+	}
+	// The queue slot is genuinely free: capacity 1/queue 1 still admits
+	// and runs a fresh job.
+	next := env.submit(t, `{"scenario":"flaky","options":{"steps":2}}`)
+	waitFor(t, "next job to run an attempt", func() bool {
+		s := env.status(t, next).State
+		return s == StateRetrying || s == StateRunning
+	})
+	env.do(t, "DELETE", "/jobs/"+next, "")
+	env.await(t, next)
 }
 
 // TestTicketDoneIdempotent: double Done must not corrupt the accounting.

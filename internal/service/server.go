@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/memo"
@@ -45,6 +46,37 @@ type Config struct {
 	// GET /jobs/{id}/trace, GET /jobs/{id}/phases and GET /telemetry/runs.
 	// nil disables recording and 404s those endpoints.
 	Telemetry *telemetry.Store
+	// TelemetryMaxRuns bounds how many runs the telemetry store retains:
+	// after each job reaches a terminal state, the oldest runs beyond
+	// the bound are deleted. Runs whose owning job still has checkpoints
+	// on disk are never deleted — that job is interrupted but resumable,
+	// and its telemetry must survive to be continued. 0 keeps everything.
+	TelemetryMaxRuns int
+	// MaxRetries is how many times a job whose attempt fails with a
+	// retryable error (rank stall, injected fault, transient overflow —
+	// anything but cancellation or a blown deadline) is retried with
+	// capped exponential backoff. 0 disables retries.
+	MaxRetries int
+	// RetryBaseDelay is the first backoff (default 250ms);
+	// RetryMaxDelay caps the exponential growth (default 10s). Each
+	// delay is jittered within its upper half.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// DefaultDeadline bounds jobs that do not send their own deadlineMs
+	// in POST /jobs. 0 leaves such jobs unbounded.
+	DefaultDeadline time.Duration
+	// CheckpointDir, when set, holds job manifests (<id>.job.json) and
+	// run checkpoints (<id>.ckpt, <id>.2.ckpt, ...): accepted jobs
+	// survive a process crash (Recover resubmits them under their
+	// original IDs) and interrupted simulations resume mid-run.
+	CheckpointDir string
+	// CheckpointEvery is the capture period in simulation steps for
+	// jobs run with CheckpointDir set (default 25).
+	CheckpointEvery int
+	// Watchdog bounds every blocking MPI operation of every job's
+	// simulations; a stalled rank surfaces as a typed error the retry
+	// loop acts on, instead of a hung job. 0 disables.
+	Watchdog time.Duration
 }
 
 // Cost of one default-sized measured run (DefaultTable1Options: 96 ranks
@@ -99,10 +131,13 @@ type JobState string
 
 // Job states. Queued covers both waiting-for-capacity and waiting on a
 // deduplicated identical run; a job that never ran itself but adopted a
-// shared artifact goes queued -> done with Shared set.
+// shared artifact goes queued -> done with Shared set. Retrying means
+// the last attempt failed and the job is backing off before the next
+// one (holding no scheduler capacity meanwhile).
 const (
 	StateQueued    JobState = "queued"
 	StateRunning   JobState = "running"
+	StateRetrying  JobState = "retrying"
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
@@ -110,31 +145,44 @@ const (
 
 // Job is one accepted submission.
 type Job struct {
-	mu       sync.Mutex
-	id       string
-	scenario string
-	params   scenario.Params
-	key      string
-	cost     int64
-	state    JobState
-	shared   bool // finished without running: adopted a deduplicated run
-	events   []scenario.Event
-	artifact *scenario.Artifact
-	err      error
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
+	mu        sync.Mutex
+	id        string
+	scenario  string
+	params    scenario.Params
+	key       string
+	cost      int64
+	state     JobState
+	shared    bool // finished without running: adopted a deduplicated run
+	recovered bool // resubmitted from a manifest after a process restart
+	retries   int  // attempts beyond the first
+	deadline  time.Duration
+	sink      *jobSink // telemetry identity, shared across attempts
+	events    []scenario.Event
+	artifact  *scenario.Artifact
+	err       error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
 }
 
 // Server is the HTTP job service over a scenario registry.
 type Server struct {
-	reg    *scenario.Registry
-	sched  *Scheduler
-	cache  *memo.Cache[string, *scenario.Artifact]
-	pool   *tasking.Pool
-	logf   func(string, ...any)
-	tstore *telemetry.Store
+	reg       *scenario.Registry
+	sched     *Scheduler
+	cache     *memo.Cache[string, *scenario.Artifact]
+	pool      *tasking.Pool
+	logf      func(string, ...any)
+	tstore    *telemetry.Store
+	maxRuns   int
+	retry     retryPolicy
+	deadline  time.Duration
+	ckptDir   string
+	ckptEvery int
+	watchdog  time.Duration
+
+	draining atomic.Bool
+	retrying atomic.Int32 // jobs currently backing off
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -156,18 +204,33 @@ func New(cfg Config) *Server {
 	if cfg.CacheTTL == 0 {
 		cfg.CacheTTL = 15 * time.Minute
 	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 250 * time.Millisecond
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = 10 * time.Second
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 25
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		reg:    cfg.Registry,
-		sched:  NewScheduler(cfg.Capacity, cfg.MaxQueue),
-		cache:  memo.New[string, *scenario.Artifact](cfg.CacheTTL),
-		pool:   cfg.RunnerPool,
-		logf:   logf,
-		tstore: cfg.Telemetry,
-		jobs:   make(map[string]*Job),
+		reg:       cfg.Registry,
+		sched:     NewScheduler(cfg.Capacity, cfg.MaxQueue),
+		cache:     memo.New[string, *scenario.Artifact](cfg.CacheTTL),
+		pool:      cfg.RunnerPool,
+		logf:      logf,
+		tstore:    cfg.Telemetry,
+		maxRuns:   cfg.TelemetryMaxRuns,
+		retry:     retryPolicy{max: cfg.MaxRetries, base: cfg.RetryBaseDelay, cap: cfg.RetryMaxDelay},
+		deadline:  cfg.DefaultDeadline,
+		ckptDir:   cfg.CheckpointDir,
+		ckptEvery: cfg.CheckpointEvery,
+		watchdog:  cfg.Watchdog,
+		jobs:      make(map[string]*Job),
 	}
 }
 
@@ -208,6 +271,10 @@ func (s *Server) Handler() http.Handler {
 type submitRequest struct {
 	Scenario string              `json:"scenario"`
 	Options  scenario.ParamsSpec `json:"options"`
+	// DeadlineMS bounds the job's total lifetime (queueing, retries and
+	// all) in milliseconds; past it the job fails with a deadline
+	// error. 0 falls back to the server's DefaultDeadline.
+	DeadlineMS float64 `json:"deadlineMs,omitempty"`
 }
 
 type scenarioJSON struct {
@@ -229,6 +296,8 @@ type jobJSON struct {
 	State     JobState    `json:"state"`
 	Cost      int64       `json:"cost"`
 	Shared    bool        `json:"shared,omitempty"`
+	Recovered bool        `json:"recovered,omitempty"`
+	Retries   int         `json:"retries,omitempty"`
 	Error     string      `json:"error,omitempty"`
 	Created   time.Time   `json:"created"`
 	Started   *time.Time  `json:"started,omitempty"`
@@ -272,11 +341,11 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	var stateFilter JobState
 	if raw := vals.Get("state"); raw != "" {
 		switch JobState(raw) {
-		case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		case StateQueued, StateRunning, StateRetrying, StateDone, StateFailed, StateCancelled:
 			stateFilter = JobState(raw)
 		default:
 			writeError(w, http.StatusBadRequest,
-				"unknown state %q (want queued, running, done, failed, or cancelled)", raw)
+				"unknown state %q (want queued, running, retrying, done, failed, or cancelled)", raw)
 			return
 		}
 	}
@@ -315,6 +384,12 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// SIGTERM drain: running jobs finish, new work goes elsewhere.
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, "server is draining, retry against a healthy instance")
+		return
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var req submitRequest
@@ -333,7 +408,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad options: %v", err)
 		return
 	}
-	job, err := s.submit(sc, params)
+	if req.DeadlineMS < 0 {
+		writeError(w, http.StatusBadRequest, "bad deadlineMs %g: want a nonnegative number", req.DeadlineMS)
+		return
+	}
+	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	if deadline == 0 {
+		deadline = s.deadline
+	}
+	job, err := s.submitJob(sc, params, req.Options, submitOpts{deadline: deadline})
 	if errors.Is(err, ErrQueueFull) {
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
@@ -423,10 +506,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // --- job lifecycle ---
 
-// submit admits and launches one job. The scheduler reservation is
+// submitOpts carries the submission variants: a recovered job reuses
+// its pre-crash ID; a fresh one gets the next.
+type submitOpts struct {
+	id       string
+	deadline time.Duration
+}
+
+// submitJob admits and launches one job. The scheduler reservation is
 // synchronous (429 propagates as ErrQueueFull before the job exists);
 // execution is asynchronous behind the returned job's ID.
-func (s *Server) submit(sc scenario.Scenario, params scenario.Params) (*Job, error) {
+func (s *Server) submitJob(sc scenario.Scenario, params scenario.Params, spec scenario.ParamsSpec, opts submitOpts) (*Job, error) {
 	cost := EstimateCost(sc, params)
 	ticket, err := s.sched.Enqueue(cost)
 	if err != nil {
@@ -434,20 +524,33 @@ func (s *Server) submit(sc scenario.Scenario, params scenario.Params) (*Job, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
-		scenario: sc.Name(),
-		params:   params,
-		key:      sc.Name() + "\x00" + params.CanonicalKey(),
-		cost:     cost,
-		state:    StateQueued,
-		created:  time.Now(),
-		cancel:   cancel,
+		scenario:  sc.Name(),
+		params:    params,
+		key:       sc.Name() + "\x00" + params.CanonicalKey(),
+		cost:      cost,
+		state:     StateQueued,
+		recovered: opts.id != "",
+		deadline:  opts.deadline,
+		created:   time.Now(),
+		cancel:    cancel,
 	}
 	s.mu.Lock()
-	s.nextID++
-	job.id = fmt.Sprintf("job-%d", s.nextID)
+	if opts.id != "" {
+		if s.jobs[opts.id] != nil {
+			s.mu.Unlock()
+			ticket.Done()
+			cancel()
+			return nil, fmt.Errorf("service: job %s already exists", opts.id)
+		}
+		job.id = opts.id
+	} else {
+		s.nextID++
+		job.id = fmt.Sprintf("job-%d", s.nextID)
+	}
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
 	s.mu.Unlock()
+	s.writeManifest(job, spec)
 	s.logf("job %s: accepted scenario=%s cost=%d key=%q", job.id, job.scenario, cost, job.key)
 	go s.run(ctx, job, sc, ticket)
 	return job, nil
@@ -455,35 +558,23 @@ func (s *Server) submit(sc scenario.Scenario, params scenario.Params) (*Job, err
 
 // run executes one job to completion. The artifact cache wraps the
 // scheduler: only the single-flight leader for a key acquires run
-// capacity and executes the scenario; deduplicated jobs wait on the
-// leader's entry holding at most a queue slot, and adopt its artifact.
+// capacity and executes the scenario (retrying transient failures —
+// see lead); deduplicated jobs wait on the leader's entry holding at
+// most a queue slot, and adopt its artifact.
 func (s *Server) run(ctx context.Context, job *Job, sc scenario.Scenario, ticket *Ticket) {
 	defer job.cancel() // release the context's resources
 	defer ticket.Done()
+	if job.deadline > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, job.deadline)
+		defer cancelT()
+	}
 	art, err := s.cache.Do(ctx, job.key, func(ctx context.Context) (*scenario.Artifact, error) {
-		if err := ticket.Acquire(ctx); err != nil {
-			return nil, err
-		}
-		job.setRunning()
-		s.logf("job %s: running", job.id)
-		if s.tstore != nil {
-			// Only the single-flight leader reaches this closure, so every
-			// recorded run belongs to the job that actually executed.
-			sink := &jobSink{store: s.tstore, job: job.id, scenario: job.scenario}
-			sink.admitted(time.Since(job.created))
-			ctx = telemetry.ContextWithSink(ctx, sink)
-		}
-		r := &scenario.Runner{Pool: s.pool, Progress: job.record}
-		results, err := r.Run(ctx, []scenario.Scenario{sc}, job.params)
-		if err != nil && (len(results) == 0 || results[0].Err == nil) {
-			return nil, err
-		}
-		if res := results[0]; res.Err != nil {
-			return nil, res.Err
-		}
-		return results[0].Artifact, nil
+		return s.lead(ctx, job, sc, ticket)
 	})
 	job.finish(art, err)
+	s.cleanupJob(job)
+	s.pruneTelemetry()
 	s.logf("job %s: %s", job.id, job.snapshot(false).State)
 }
 
@@ -502,7 +593,7 @@ func (j *Job) setRunning() {
 }
 
 // finish resolves the job from the cache.Do outcome: success (own run or
-// adopted shared artifact), cancellation, or failure.
+// adopted shared artifact), cancellation, deadline expiry, or failure.
 func (j *Job) finish(art *scenario.Artifact, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -512,9 +603,15 @@ func (j *Job) finish(art *scenario.Artifact, err error) {
 		j.shared = j.state == StateQueued // never ran itself: deduplicated
 		j.state = StateDone
 		j.artifact = art
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.err = nil // clear any retried-through attempt error
+	case errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.err = err
+	case errors.Is(err, context.DeadlineExceeded):
+		// The job's own deadline (or the submitter's context) ran out:
+		// an operational failure, not an operator cancellation.
+		j.state = StateFailed
+		j.err = fmt.Errorf("deadline exceeded after %d retries: %w", j.retries, err)
 	default:
 		j.state = StateFailed
 		j.err = err
@@ -527,12 +624,14 @@ func (j *Job) snapshot(withEvents bool) jobJSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	out := jobJSON{
-		ID:       j.id,
-		Scenario: j.scenario,
-		State:    j.state,
-		Cost:     j.cost,
-		Shared:   j.shared,
-		Created:  j.created,
+		ID:        j.id,
+		Scenario:  j.scenario,
+		State:     j.state,
+		Cost:      j.cost,
+		Shared:    j.shared,
+		Recovered: j.recovered,
+		Retries:   j.retries,
+		Created:   j.created,
 	}
 	if j.err != nil {
 		out.Error = j.err.Error()

@@ -20,6 +20,7 @@ import (
 // testEnv is one server under httptest with controllable scenarios.
 type testEnv struct {
 	ts   *httptest.Server
+	srv  *Server
 	runs *atomic.Int32 // underlying executions of the "gated" scenario
 	gate chan struct{} // closed to let "gated" runs finish
 }
@@ -65,6 +66,7 @@ func newTestEnv(t *testing.T, cfg Config) *testEnv {
 		}))
 	cfg.Registry = reg
 	srv := New(cfg)
+	env.srv = srv
 	env.ts = httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		srv.Close()

@@ -64,6 +64,22 @@ func (js *jobSink) BeginRun(meta telemetry.RunMeta) (*telemetry.RunWriter, error
 	return w, nil
 }
 
+// pruneTelemetry enforces the TelemetryMaxRuns retention bound after a
+// job reaches a terminal state. A run is deletable only when its owning
+// job has no checkpoints left on disk: checkpoints mean the job is
+// interrupted but resumable, and a resumed attempt appends to the same
+// telemetry timeline the earlier attempt started.
+func (s *Server) pruneTelemetry() {
+	if s.tstore == nil || s.maxRuns <= 0 {
+		return
+	}
+	for _, run := range s.tstore.Prune(s.maxRuns, func(m telemetry.RunMeta) bool {
+		return m.Job != "" && s.HasCheckpoints(m.Job)
+	}) {
+		s.logf("telemetry: retention pruned run %s", run)
+	}
+}
+
 // --- wire types (shared with cmd/traceview) ---
 
 // RowWire is one telemetry row on the wire. The numeric phase field
@@ -164,16 +180,29 @@ func PhasesFromTrace(tr *trace.Trace, meta telemetry.RunMeta) PhasesWire {
 // --- handlers ---
 
 type healthJSON struct {
-	OK        bool `json:"ok"`
-	Jobs      int  `json:"jobs"`
-	Telemetry bool `json:"telemetry"`
+	OK        bool   `json:"ok"`
+	Status    string `json:"status"` // "ok", "degraded" (jobs retrying), "draining"
+	Jobs      int    `json:"jobs"`
+	Retrying  int    `json:"retrying,omitempty"`
+	Telemetry bool   `json:"telemetry"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, healthJSON{OK: true, Jobs: n, Telemetry: s.tstore != nil})
+	out := healthJSON{OK: true, Status: "ok", Jobs: n,
+		Retrying: int(s.retrying.Load()), Telemetry: s.tstore != nil}
+	switch {
+	case s.draining.Load():
+		// Still answering (running jobs are being finished), but load
+		// balancers should route new work elsewhere.
+		out.OK = false
+		out.Status = "draining"
+	case out.Retrying > 0:
+		out.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 type statsJSON struct {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 
@@ -213,6 +215,88 @@ func TestHealthzAndStats(t *testing.T) {
 	if st.Runs != 2 {
 		t.Fatalf("runs = %d, want 2 (the cached job recorded nothing)", st.Runs)
 	}
+}
+
+// TestTelemetryRetention: with TelemetryMaxRuns set, finishing a job
+// prunes the oldest runs past the bound — except runs whose owning job
+// still has checkpoint files on disk, which are pinned until the
+// checkpoints go away.
+func TestTelemetryRetention(t *testing.T) {
+	st := telemetry.NewMemStore()
+	ckptDir := t.TempDir()
+	reg := scenario.NewRegistry()
+	reg.MustRegister(scenario.New("rec", "records one run", []string{"test"},
+		func(ctx context.Context, p scenario.Params) (*scenario.Artifact, error) {
+			sink := telemetry.SinkFromContext(ctx)
+			if sink == nil {
+				return nil, fmt.Errorf("no telemetry sink on the job context")
+			}
+			w, err := sink.BeginRun(telemetry.RunMeta{Mode: "synchronous", Ranks: 1, Steps: 1})
+			if err != nil {
+				return nil, err
+			}
+			w.Append(telemetry.Row{Rank: 0, Kind: telemetry.KindPhase, Phase: trace.PhaseAssembly, Start: 0, End: 1})
+			if err := w.Close(); err != nil {
+				return nil, err
+			}
+			return &scenario.Artifact{Scenario: "rec", Kind: scenario.KindReport, Report: "ok\n"}, nil
+		}))
+	srv := New(Config{Registry: reg, Telemetry: st, TelemetryMaxRuns: 2, CheckpointDir: ckptDir})
+	env := &testEnv{ts: httptest.NewServer(srv.Handler()), srv: srv}
+	defer env.ts.Close()
+	defer srv.Close()
+
+	submit := func(i int) string {
+		t.Helper()
+		id := env.submit(t, fmt.Sprintf(`{"scenario": "rec", "options": {"steps": %d}}`, i))
+		if j := env.await(t, id); j.State != StateDone {
+			t.Fatalf("job %s = %+v", id, j)
+		}
+		return id
+	}
+	haveRuns := func(want ...string) func() bool {
+		return func() bool {
+			got := map[string]bool{}
+			for _, m := range st.Runs() {
+				got[m.Run] = true
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for _, r := range want {
+				if !got[r] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	a := submit(1)
+	b := submit(2)
+	c := submit(3)
+	// Pruning runs just after the job's terminal state is published, so
+	// poll: three runs against a bound of two drops the oldest.
+	waitFor(t, "oldest run to be pruned", haveRuns(b, c))
+	if _, err := st.Query(a, telemetry.Query{}); err == nil {
+		t.Fatalf("pruned run %s still queryable", a)
+	}
+
+	// A live checkpoint pins its job's runs: b looks interrupted-but-
+	// resumable now, so retention takes the next-oldest instead.
+	ckpt := filepath.Join(ckptDir, b+".ckpt")
+	if err := os.WriteFile(ckpt, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := submit(4)
+	waitFor(t, "unpinned run to be pruned around the pin", haveRuns(b, d))
+
+	// Once the checkpoint is gone, b is ordinary again and ages out.
+	if err := os.Remove(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	e := submit(5)
+	waitFor(t, "formerly pinned run to age out", haveRuns(d, e))
 }
 
 func TestJobListFilters(t *testing.T) {

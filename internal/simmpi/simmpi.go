@@ -17,9 +17,11 @@
 package simmpi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // BlockingHooks receives notifications around every blocking MPI call a
@@ -40,6 +42,14 @@ type World struct {
 	inbox    []*mailbox // one per rank
 	worldCom *commShared
 	bufs     bufPool // freelist of leased transport buffers
+
+	// Robustness state (see fault.go). steps, sendSeq and faultHits are
+	// indexed by rank and touched only by that rank's goroutine.
+	watchdog  time.Duration
+	faults    *FaultPlan
+	steps     []int
+	sendSeq   []int64
+	faultHits [][]int // [rule][rank] match counts
 }
 
 // Option configures a World.
@@ -71,6 +81,14 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	w.inbox = make([]*mailbox, size)
 	for i := range w.inbox {
 		w.inbox[i] = newMailbox()
+	}
+	w.steps = make([]int, size)
+	if w.faults != nil {
+		w.sendSeq = make([]int64, size)
+		w.faultHits = make([][]int, len(w.faults.Rules))
+		for i := range w.faultHits {
+			w.faultHits[i] = make([]int, size)
+		}
 	}
 	group := make([]int, size)
 	for i := range group {
@@ -106,7 +124,10 @@ func (w *World) RanksOnNode(node int) []int {
 // Run spawns one goroutine per rank executing body and waits for all of
 // them. A panic in any rank is recovered and returned as an error after
 // the remaining ranks finish or the panic cascades (callers should treat
-// an error as fatal for the whole world).
+// an error as fatal for the whole world). Typed robustness panics —
+// *ErrRankStalled from the watchdog, *FaultError from an injected fault
+// — are returned as-is so errors.As works on them; a root-cause error is
+// preferred over the collateral stalls it leaves in peer ranks.
 func (w *World) Run(body func(r *Rank)) error {
 	var wg sync.WaitGroup
 	errs := make([]error, w.size)
@@ -116,7 +137,14 @@ func (w *World) Run(body func(r *Rank)) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, p)
+					switch e := p.(type) {
+					case *ErrRankStalled:
+						errs[rank] = e
+					case *FaultError:
+						errs[rank] = e
+					default:
+						errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, p)
+					}
 				}
 			}()
 			r := &Rank{world: w, rank: rank}
@@ -125,10 +153,26 @@ func (w *World) Run(body func(r *Rank)) error {
 		}(rank)
 	}
 	wg.Wait()
+	// Prefer root causes: any non-stall error first, then a
+	// point-to-point stall (it names the missing message), and only
+	// last a collective stall, which is usually collateral from a peer
+	// that died or stalled elsewhere.
+	var stall *ErrRankStalled
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		var rs *ErrRankStalled
+		if errors.As(err, &rs) {
+			if stall == nil || (stall.Tag == CollectiveTag && rs.Tag != CollectiveTag) {
+				stall = rs
+			}
+			continue
+		}
+		return err
+	}
+	if stall != nil {
+		return stall
 	}
 	return nil
 }
@@ -225,12 +269,32 @@ func (mb *mailbox) popLocked(key msgKey, q *msgQueue) message {
 	return m
 }
 
-func (mb *mailbox) take(key msgKey) message {
+// take blocks until a message for key arrives, or until deadline (the
+// zero time waits forever). It reports false on expiry. The watchdog
+// timer broadcasts after an empty lock/unlock of mb.mu, which orders the
+// wakeup after any waiter that checked the deadline has entered Wait —
+// without it the broadcast could land between check and Wait and be
+// lost.
+func (mb *mailbox) take(key msgKey, deadline time.Time) (message, bool) {
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
+	var timer *time.Timer
+	if !deadline.IsZero() {
+		timer = time.AfterFunc(time.Until(deadline), func() {
+			mb.mu.Lock()
+			mb.mu.Unlock() //nolint:staticcheck // empty critical section is the ordering point
+			mb.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
 	for {
 		if q := mb.queues[key]; q != nil {
-			return mb.popLocked(key, q)
+			m := mb.popLocked(key, q)
+			mb.mu.Unlock()
+			return m, true
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			mb.mu.Unlock()
+			return message{}, false
 		}
 		mb.cond.Wait()
 	}
@@ -297,6 +361,18 @@ func (c *Comm) GlobalRank(commRank int) int { return c.shared.group[commRank] }
 // it never blocks. Slice payloads are shared, not copied; senders must
 // not mutate them afterwards (use the typed helpers to copy).
 func (c *Comm) Send(dst, tag int, payload any) {
+	if c.world.faults != nil {
+		if act, d, ok := c.world.faultFor(FaultSend, c.me, tag); ok {
+			switch act {
+			case FaultDelay:
+				time.Sleep(d)
+			case FaultErr:
+				panic(&FaultError{Rank: c.me, Op: FaultSend, Tag: tag, Step: c.world.stepOf(c.me)})
+			case FaultDrop:
+				return // lost in transit
+			}
+		}
+	}
 	g := c.shared.group[dst]
 	c.world.inbox[g].put(msgKey{src: c.me, tag: tag}, message{payload: payload})
 }
@@ -321,18 +397,44 @@ func (c *Comm) SendInt32s(dst, tag int, data []int32) {
 }
 
 // Recv blocks until a message from src (comm rank) with tag arrives and
-// returns its payload.
+// returns its payload. With a watchdog installed (WithWatchdog) a wait
+// past the deadline panics with *ErrRankStalled, which World.Run returns
+// as a typed error.
 func (c *Comm) Recv(src, tag int) any {
 	g := c.shared.group[src]
 	key := msgKey{src: g, tag: tag}
 	mb := c.world.inbox[c.me]
+	if c.world.faults != nil {
+		if act, d, ok := c.world.faultFor(FaultRecv, c.me, tag); ok {
+			switch act {
+			case FaultDelay:
+				time.Sleep(d)
+			case FaultErr:
+				panic(&FaultError{Rank: c.me, Op: FaultRecv, Tag: tag, Step: c.world.stepOf(c.me)})
+			case FaultDrop:
+				// Discard the message this receive would have matched,
+				// then wait for a replacement that never comes: the
+				// watchdog surfaces it as a stall.
+				c.recvBlocking(mb, key, tag)
+			}
+		}
+	}
 	if m, ok := mb.tryTake(key); ok {
 		return m.payload
 	}
+	return c.recvBlocking(mb, key, tag).payload
+}
+
+// recvBlocking is the blocking mailbox take bracketed by the PMPI hooks
+// and bounded by the world watchdog.
+func (c *Comm) recvBlocking(mb *mailbox, key msgKey, tag int) message {
 	c.world.blockEnter(c.me)
-	m := mb.take(key)
+	m, ok := mb.take(key, c.world.opDeadline())
+	if !ok {
+		panic(&ErrRankStalled{Rank: c.me, Tag: tag, Step: c.world.stepOf(c.me)})
+	}
 	c.world.blockExit(c.me)
-	return m.payload
+	return m
 }
 
 // RecvFloat64s receives a []float64 payload into a fresh slice; hot
@@ -392,9 +494,45 @@ func newCollective(n int) *collective {
 	return c
 }
 
+// waitInfo carries the watchdog deadline and the identity to report if
+// it expires; the zero deadline waits forever. Passed by value — no
+// allocation on the collective hot path.
+type waitInfo struct {
+	deadline time.Time
+	rank     int
+	step     int
+}
+
+// waitLocked blocks until the generation advances past gen or the
+// watchdog deadline passes; on expiry it releases c.mu first (so every
+// other stalled participant can time out too) and panics with
+// *ErrRankStalled. The timer's empty lock/unlock of c.mu orders its
+// broadcast after any waiter has entered Wait (see mailbox.take).
+func (c *collective) waitLocked(gen int, wd waitInfo) {
+	if wd.deadline.IsZero() {
+		for gen == c.gen {
+			c.cond.Wait()
+		}
+		return
+	}
+	timer := time.AfterFunc(time.Until(wd.deadline), func() {
+		c.mu.Lock()
+		c.mu.Unlock() //nolint:staticcheck // empty critical section is the ordering point
+		c.cond.Broadcast()
+	})
+	defer timer.Stop()
+	for gen == c.gen {
+		if !time.Now().Before(wd.deadline) {
+			c.mu.Unlock()
+			panic(&ErrRankStalled{Rank: wd.rank, Tag: CollectiveTag, Step: wd.step})
+		}
+		c.cond.Wait()
+	}
+}
+
 // rendezvous deposits this rank's contribution, has the last arriver run
 // reduce over all contributions, and returns the common result.
-func (c *collective) rendezvous(idx int, contrib any, reduce func(slots []any) any) any {
+func (c *collective) rendezvous(idx int, contrib any, wd waitInfo, reduce func(slots []any) any) any {
 	c.mu.Lock()
 	gen := c.gen
 	c.slots[idx] = contrib
@@ -407,9 +545,7 @@ func (c *collective) rendezvous(idx int, contrib any, reduce func(slots []any) a
 		c.cond.Broadcast()
 		return c.result
 	}
-	for gen == c.gen {
-		c.cond.Wait()
-	}
+	c.waitLocked(gen, wd)
 	res := c.result
 	c.mu.Unlock()
 	return res
@@ -453,7 +589,7 @@ func reduceInt(acc, x int, op ReduceOp) int {
 // and result stay unboxed, so a steady-state allreduce allocates
 // nothing. The fold walks slots in ascending rank order, exactly like
 // the generic path, so results are bit-identical.
-func (c *collective) rendezvousF64(idx int, v float64, op ReduceOp) float64 {
+func (c *collective) rendezvousF64(idx int, v float64, op ReduceOp, wd waitInfo) float64 {
 	c.mu.Lock()
 	gen := c.gen
 	c.fslots[idx] = v
@@ -470,16 +606,14 @@ func (c *collective) rendezvousF64(idx int, v float64, op ReduceOp) float64 {
 		c.cond.Broadcast()
 		return acc
 	}
-	for gen == c.gen {
-		c.cond.Wait()
-	}
+	c.waitLocked(gen, wd)
 	res := c.resF
 	c.mu.Unlock()
 	return res
 }
 
 // rendezvousInt is the typed scalar-int rendezvous (see rendezvousF64).
-func (c *collective) rendezvousInt(idx int, v int, op ReduceOp) int {
+func (c *collective) rendezvousInt(idx int, v int, op ReduceOp, wd waitInfo) int {
 	c.mu.Lock()
 	gen := c.gen
 	c.islots[idx] = v
@@ -496,9 +630,7 @@ func (c *collective) rendezvousInt(idx int, v int, op ReduceOp) int {
 		c.cond.Broadcast()
 		return acc
 	}
-	for gen == c.gen {
-		c.cond.Wait()
-	}
+	c.waitLocked(gen, wd)
 	res := c.resI
 	c.mu.Unlock()
 	return res
@@ -522,7 +654,7 @@ func (c *collective) copyOutLocked(dst []float64) []float64 {
 // rank copies it out under the lock, so with pre-sized dst the call
 // allocates nothing. Contribution slots are cleared after the reduce so
 // caller vectors are not retained across steps.
-func (c *collective) rendezvousSliceReduce(idx int, v []float64, op ReduceOp, dst []float64) []float64 {
+func (c *collective) rendezvousSliceReduce(idx int, v []float64, op ReduceOp, dst []float64, wd waitInfo) []float64 {
 	c.mu.Lock()
 	gen := c.gen
 	c.sslots[idx] = v
@@ -549,9 +681,7 @@ func (c *collective) rendezvousSliceReduce(idx int, v []float64, op ReduceOp, ds
 		c.cond.Broadcast()
 		return dst
 	}
-	for gen == c.gen {
-		c.cond.Wait()
-	}
+	c.waitLocked(gen, wd)
 	dst = c.copyOutLocked(dst)
 	c.mu.Unlock()
 	return dst
@@ -559,7 +689,7 @@ func (c *collective) rendezvousSliceReduce(idx int, v []float64, op ReduceOp, ds
 
 // rendezvousGatherF64 gathers one float64 per rank into dst, indexed by
 // comm rank (see rendezvousSliceReduce for the allocation contract).
-func (c *collective) rendezvousGatherF64(idx int, v float64, dst []float64) []float64 {
+func (c *collective) rendezvousGatherF64(idx int, v float64, dst []float64, wd waitInfo) []float64 {
 	c.mu.Lock()
 	gen := c.gen
 	c.fslots[idx] = v
@@ -577,18 +707,43 @@ func (c *collective) rendezvousGatherF64(idx int, v float64, dst []float64) []fl
 		c.cond.Broadcast()
 		return dst
 	}
-	for gen == c.gen {
-		c.cond.Wait()
-	}
+	c.waitLocked(gen, wd)
 	dst = c.copyOutLocked(dst)
 	c.mu.Unlock()
 	return dst
 }
 
+// collEnter runs the fault hook for a collective operation and returns
+// the wait identity for its rendezvous. FaultDrop simulates a dead rank:
+// the rank never arrives, so with a watchdog installed it and every peer
+// stall out; without one it blocks forever, like real MPI.
+func (c *Comm) collEnter() waitInfo {
+	w := c.world
+	if w.faults != nil {
+		if act, d, ok := w.faultFor(FaultCollective, c.me, CollectiveTag); ok {
+			switch act {
+			case FaultDelay:
+				time.Sleep(d)
+			case FaultErr:
+				panic(&FaultError{Rank: c.me, Op: FaultCollective, Tag: CollectiveTag, Step: w.stepOf(c.me)})
+			case FaultDrop:
+				if w.watchdog > 0 {
+					time.Sleep(w.watchdog)
+				} else {
+					select {} // dead rank, no watchdog: hang as real MPI would
+				}
+				panic(&ErrRankStalled{Rank: c.me, Tag: CollectiveTag, Step: w.stepOf(c.me)})
+			}
+		}
+	}
+	return waitInfo{deadline: w.opDeadline(), rank: c.me, step: w.stepOf(c.me)}
+}
+
 // Barrier blocks until every rank of the communicator arrives.
 func (c *Comm) Barrier() {
+	wd := c.collEnter()
 	c.world.blockEnter(c.me)
-	c.shared.coll.rendezvous(c.Rank(), nil, func([]any) any { return nil })
+	c.shared.coll.rendezvous(c.Rank(), nil, wd, func([]any) any { return nil })
 	c.world.blockExit(c.me)
 }
 
@@ -605,8 +760,9 @@ const (
 // AllreduceFloat64 combines one value from every rank. Contributions
 // travel through typed slots, so a steady-state call allocates nothing.
 func (c *Comm) AllreduceFloat64(v float64, op ReduceOp) float64 {
+	wd := c.collEnter()
 	c.world.blockEnter(c.me)
-	res := c.shared.coll.rendezvousF64(c.Rank(), v, op)
+	res := c.shared.coll.rendezvousF64(c.Rank(), v, op, wd)
 	c.world.blockExit(c.me)
 	return res
 }
@@ -623,8 +779,9 @@ func (c *Comm) AllreduceFloat64s(v []float64, op ReduceOp) []float64 {
 // alias v; it returns dst resliced to the result length. With a
 // pre-sized dst the call allocates nothing.
 func (c *Comm) AllreduceFloat64sInto(v []float64, op ReduceOp, dst []float64) []float64 {
+	wd := c.collEnter()
 	c.world.blockEnter(c.me)
-	dst = c.shared.coll.rendezvousSliceReduce(c.Rank(), v, op, dst)
+	dst = c.shared.coll.rendezvousSliceReduce(c.Rank(), v, op, dst, wd)
 	c.world.blockExit(c.me)
 	return dst
 }
@@ -632,8 +789,9 @@ func (c *Comm) AllreduceFloat64sInto(v []float64, op ReduceOp, dst []float64) []
 // AllreduceInt combines one int from every rank through typed slots (no
 // steady-state allocation).
 func (c *Comm) AllreduceInt(v int, op ReduceOp) int {
+	wd := c.collEnter()
 	c.world.blockEnter(c.me)
-	res := c.shared.coll.rendezvousInt(c.Rank(), v, op)
+	res := c.shared.coll.rendezvousInt(c.Rank(), v, op, wd)
 	c.world.blockExit(c.me)
 	return res
 }
@@ -648,8 +806,9 @@ func (c *Comm) AllgatherFloat64(v float64) []float64 {
 // AllgatherFloat64Into collects one value per rank into dst (grown only
 // if too small); with a pre-sized dst the call allocates nothing.
 func (c *Comm) AllgatherFloat64Into(v float64, dst []float64) []float64 {
+	wd := c.collEnter()
 	c.world.blockEnter(c.me)
-	dst = c.shared.coll.rendezvousGatherF64(c.Rank(), v, dst)
+	dst = c.shared.coll.rendezvousGatherF64(c.Rank(), v, dst, wd)
 	c.world.blockExit(c.me)
 	return dst
 }
@@ -659,8 +818,9 @@ func (c *Comm) AllgatherFloat64Into(v float64, dst []float64) []float64 {
 func (c *Comm) AllgatherInt32s(v []int32) [][]int32 {
 	cp := make([]int32, len(v))
 	copy(cp, v)
+	wd := c.collEnter()
 	c.world.blockEnter(c.me)
-	res := c.shared.coll.rendezvous(c.Rank(), cp, func(slots []any) any {
+	res := c.shared.coll.rendezvous(c.Rank(), cp, wd, func(slots []any) any {
 		out := make([][]int32, len(slots))
 		for i, s := range slots {
 			if s == nil {
@@ -678,8 +838,9 @@ func (c *Comm) AllgatherInt32s(v []int32) [][]int32 {
 
 // AllgatherInt collects one int per rank.
 func (c *Comm) AllgatherInt(v int) []int {
+	wd := c.collEnter()
 	c.world.blockEnter(c.me)
-	res := c.shared.coll.rendezvous(c.Rank(), v, func(slots []any) any {
+	res := c.shared.coll.rendezvous(c.Rank(), v, wd, func(slots []any) any {
 		out := make([]int, len(slots))
 		for i, s := range slots {
 			out[i] = s.(int)
@@ -698,9 +859,10 @@ func (c *Comm) BcastFloat64s(root int, data []float64) []float64 {
 		copy(cp, data)
 		contrib = cp
 	}
+	wd := c.collEnter()
 	c.world.blockEnter(c.me)
 	rootIdx := root
-	res := c.shared.coll.rendezvous(c.Rank(), contrib, func(slots []any) any {
+	res := c.shared.coll.rendezvous(c.Rank(), contrib, wd, func(slots []any) any {
 		return slots[rootIdx]
 	})
 	c.world.blockExit(c.me)
@@ -715,8 +877,9 @@ func (c *Comm) BcastFloat64s(root int, data []float64) []float64 {
 // Every rank of the communicator must call it.
 func (c *Comm) Split(color, key int) *Comm {
 	type entry struct{ color, key, commRank int }
+	wd := c.collEnter()
 	c.world.blockEnter(c.me)
-	res := c.shared.coll.rendezvous(c.Rank(), entry{color, key, c.Rank()}, func(slots []any) any {
+	res := c.shared.coll.rendezvous(c.Rank(), entry{color, key, c.Rank()}, wd, func(slots []any) any {
 		byColor := map[int][]entry{}
 		for _, s := range slots {
 			e := s.(entry)

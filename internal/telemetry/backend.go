@@ -27,6 +27,9 @@ type backend interface {
 	appendChunk(run, name string, data []byte) error
 	writeMeta(run string, data []byte) error
 	readMeta(run string) ([]byte, error)
+	// deleteRun removes the run's metadata and every chunk. Deleting a
+	// run that does not exist is not an error.
+	deleteRun(run string) error
 }
 
 // metaFile is the per-run metadata document of the file backend.
@@ -120,6 +123,10 @@ func (b *fileBackend) writeMeta(run string, data []byte) error {
 
 func (b *fileBackend) readMeta(run string) ([]byte, error) {
 	return os.ReadFile(filepath.Join(b.dir, run, metaFile))
+}
+
+func (b *fileBackend) deleteRun(run string) error {
+	return os.RemoveAll(filepath.Join(b.dir, run))
 }
 
 // --- memory backend ---
@@ -218,4 +225,11 @@ func (b *memBackend) readMeta(run string) ([]byte, error) {
 		return nil, os.ErrNotExist
 	}
 	return r.meta, nil
+}
+
+func (b *memBackend) deleteRun(run string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.runs, run)
+	return nil
 }

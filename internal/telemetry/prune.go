@@ -1,0 +1,58 @@
+package telemetry
+
+import "fmt"
+
+// Delete removes one run — metadata, chunks, and index entry. A run
+// with an active writer cannot be deleted (Close it first); unknown
+// runs are an error. Deletion is not atomic on the file backend, but
+// the run is removed from the in-memory index before any file is
+// touched, so concurrent queries see either the whole run or an
+// "unknown run" error, never a partial one.
+func (s *Store) Delete(run string) error {
+	s.mu.Lock()
+	rs := s.runs[run]
+	switch {
+	case rs == nil:
+		s.mu.Unlock()
+		return fmt.Errorf("telemetry: unknown run %q", run)
+	case rs.writer != nil:
+		s.mu.Unlock()
+		return fmt.Errorf("telemetry: run %q is still being written", run)
+	}
+	delete(s.runs, run)
+	s.mu.Unlock()
+	if err := s.be.deleteRun(run); err != nil {
+		return fmt.Errorf("telemetry: delete run %q: %w", run, err)
+	}
+	return nil
+}
+
+// Prune enforces a retention bound: while the store holds more than
+// max runs, it deletes the oldest ones (Runs order — Created, then ID).
+// A non-nil keep callback vetoes individual deletions — a vetoed run
+// survives but still counts against the bound, so the store may stay
+// above max when enough old runs are pinned. Runs with an active
+// writer are implicitly kept. Returns the IDs of the runs deleted,
+// oldest first.
+func (s *Store) Prune(max int, keep func(RunMeta) bool) []string {
+	if max < 0 {
+		max = 0
+	}
+	runs := s.Runs()
+	excess := len(runs) - max
+	var deleted []string
+	for _, m := range runs {
+		if excess <= 0 {
+			break
+		}
+		if keep != nil && keep(m) {
+			continue
+		}
+		if s.Delete(m.Run) != nil {
+			continue // active writer or raced with another pruner
+		}
+		deleted = append(deleted, m.Run)
+		excess--
+	}
+	return deleted
+}

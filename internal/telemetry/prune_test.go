@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// mkRun records and closes one tiny run with an explicit creation time
+// (so prune-order tests do not depend on clock resolution).
+func mkRun(t *testing.T, st *Store, id string, created time.Time) {
+	t.Helper()
+	w, err := st.BeginRun(RunMeta{Run: id, Created: created})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(phaseRow(0, trace.PhaseMPI, 0, 1))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runIDs(metas []RunMeta) []string {
+	out := make([]string, len(metas))
+	for i, m := range metas {
+		out[i] = m.Run
+	}
+	return out
+}
+
+func TestDeleteRun(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000, 0)
+	mkRun(t, st, "a", base)
+	mkRun(t, st, "b", base.Add(time.Second))
+
+	if err := st.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.RunCount(); n != 1 {
+		t.Fatalf("RunCount after delete = %d", n)
+	}
+	if _, err := st.Query("a", Query{}); err == nil {
+		t.Fatal("Query of deleted run succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); !os.IsNotExist(err) {
+		t.Fatalf("run directory survived deletion: %v", err)
+	}
+	if err := st.Delete("a"); err == nil {
+		t.Fatal("deleting an unknown run succeeded")
+	}
+
+	// An open writer pins its run.
+	w, err := st.BeginRun(RunMeta{Run: "live"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("live"); err == nil {
+		t.Fatal("deleted a run with an active writer")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("live"); err != nil {
+		t.Fatalf("delete after Close: %v", err)
+	}
+
+	// The surviving run is intact, also across a reload.
+	re, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runIDs(re.Runs()); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("reloaded runs = %v, want [b]", got)
+	}
+	rows, err := re.Query("b", Query{})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("surviving run rows = %d, err = %v", len(rows), err)
+	}
+}
+
+func TestPruneDeletesOldestFirst(t *testing.T) {
+	st := NewMemStore()
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		mkRun(t, st, fmt.Sprintf("r%d", i), base.Add(time.Duration(i)*time.Second))
+	}
+	deleted := st.Prune(2, nil)
+	if want := []string{"r0", "r1", "r2"}; fmt.Sprint(deleted) != fmt.Sprint(want) {
+		t.Fatalf("deleted = %v, want %v", deleted, want)
+	}
+	if got := runIDs(st.Runs()); fmt.Sprint(got) != fmt.Sprint([]string{"r3", "r4"}) {
+		t.Fatalf("surviving runs = %v", got)
+	}
+	// Already at the bound: a second prune is a no-op.
+	if deleted := st.Prune(2, nil); len(deleted) != 0 {
+		t.Fatalf("prune at bound deleted %v", deleted)
+	}
+}
+
+func TestPruneKeepVetoesDeletion(t *testing.T) {
+	st := NewMemStore()
+	base := time.Unix(1000, 0)
+	for i := 0; i < 4; i++ {
+		mkRun(t, st, fmt.Sprintf("r%d", i), base.Add(time.Duration(i)*time.Second))
+	}
+	// r0 is pinned (think: its job still has live checkpoints). The
+	// excess of 2 is taken from the next-oldest deletable runs instead.
+	deleted := st.Prune(2, func(m RunMeta) bool { return m.Run == "r0" })
+	if want := []string{"r1", "r2"}; fmt.Sprint(deleted) != fmt.Sprint(want) {
+		t.Fatalf("deleted = %v, want %v", deleted, want)
+	}
+	if got := runIDs(st.Runs()); fmt.Sprint(got) != fmt.Sprint([]string{"r0", "r3"}) {
+		t.Fatalf("surviving runs = %v", got)
+	}
+	// When every excess run is pinned, the store stays over the bound.
+	if deleted := st.Prune(1, func(RunMeta) bool { return true }); len(deleted) != 0 {
+		t.Fatalf("prune deleted pinned runs: %v", deleted)
+	}
+	if n := st.RunCount(); n != 2 {
+		t.Fatalf("RunCount = %d", n)
+	}
+}
+
+func TestPruneSkipsActiveWriter(t *testing.T) {
+	st := NewMemStore()
+	base := time.Unix(1000, 0)
+	// Oldest run is still being written: prune must pass over it.
+	w, err := st.BeginRun(RunMeta{Run: "open", Created: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRun(t, st, "mid", base.Add(time.Second))
+	mkRun(t, st, "new", base.Add(2*time.Second))
+	deleted := st.Prune(2, nil)
+	if want := []string{"mid"}; fmt.Sprint(deleted) != fmt.Sprint(want) {
+		t.Fatalf("deleted = %v, want %v", deleted, want)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := runIDs(st.Runs()); fmt.Sprint(got) != fmt.Sprint([]string{"open", "new"}) {
+		t.Fatalf("surviving runs = %v", got)
+	}
+}
