@@ -11,6 +11,7 @@
 //	respira -inflow breathing:0.0008 -inject-every 1 -steps 4
 //	respira -sweep -sweep-d 2.5e-6,10e-6 -sweep-q 0.9,1.5
 //	respira -steps 40 -checkpoint /tmp/run.ckpt -checkpoint-every 10
+//	respira -verify /var/lib/respirad/ckpt
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro"
 	"repro/internal/checkpoint"
 	"repro/internal/coupling"
+	"repro/internal/integrity"
 	"repro/scenario"
 )
 
@@ -48,8 +50,14 @@ func main() {
 	sweepG := flag.String("sweep-g", "", "sweep axis: comma-separated mesh generations (implies -sweep)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint the run into this file and resume from it when present (single-run mode)")
 	ckptEvery := flag.Int("checkpoint-every", 10, "checkpoint capture period in steps (with -checkpoint)")
+	ckptKeep := flag.Int("checkpoint-keep", 2, "snapshot generations retained per run; resume falls back past corrupt ones (with -checkpoint)")
+	verify := flag.String("verify", "", "offline integrity scrub: verify every checkpoint and telemetry chunk under this directory, print per-file verdicts, and exit (1 if anything is corrupt or quarantined)")
 	watchdog := flag.Duration("watchdog", 0, "stall bound per blocking exchange; a stuck rank fails the run with a typed error (0 = off)")
 	flag.Parse()
+
+	if *verify != "" {
+		os.Exit(runVerify(*verify))
+	}
 
 	// Validate every flag before any simulation work: nonsensical counts
 	// (-steps -1, -gens 0, ...) exit 2 with a usage message, the same
@@ -74,6 +82,7 @@ func main() {
 		{"ranks-per-node", *ranksPerNode, scenario.CheckNonNegative},
 		{"inject-every", *injectEvery, scenario.CheckNonNegative},
 		{"checkpoint-every", *ckptEvery, scenario.CheckPositive},
+		{"checkpoint-keep", *ckptKeep, scenario.CheckPositive},
 	} {
 		if err := c.fn(c.name, c.v); err != nil {
 			usage(err)
@@ -166,7 +175,7 @@ func main() {
 	cfg.Run.Watchdog = *watchdog
 	if *ckptPath != "" {
 		cfg.Run.Checkpoint = &checkpoint.Plan{
-			Path: *ckptPath, Every: *ckptEvery, Resume: true,
+			Path: *ckptPath, Every: *ckptEvery, Resume: true, Keep: *ckptKeep,
 			OnError: func(err error) { fmt.Fprintln(os.Stderr, "respira: checkpoint:", err) },
 		}
 	}
@@ -181,6 +190,32 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Result.Trace.Render(100, 24))
 	}
+}
+
+// runVerify is the -verify DIR offline scrub: per-file verdicts on
+// stdout, exit 1 when anything is corrupt or quarantined (the same
+// criterion as respirad's GET /admin/integrity ok field).
+func runVerify(dir string) int {
+	vs, err := integrity.ScanDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "respira: verify:", err)
+		return 1
+	}
+	if len(vs) == 0 {
+		fmt.Printf("%s: no checkpoints or telemetry runs found\n", dir)
+		return 0
+	}
+	for _, v := range vs {
+		line := fmt.Sprintf("%-11s %-10s %s", v.Status, v.Kind, v.File)
+		if v.Detail != "" {
+			line += "  (" + v.Detail + ")"
+		}
+		fmt.Println(line)
+	}
+	if integrity.AnyBad(vs) {
+		return 1
+	}
+	return 0
 }
 
 // runDosageSweep executes the registered "sweep" scenario with p and

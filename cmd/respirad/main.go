@@ -16,6 +16,7 @@
 //	DELETE /jobs/{id}                     cancel at the next step boundary
 //	GET    /healthz                       liveness ("ok", "degraded", "draining")
 //	GET    /stats                         scheduler occupancy + cache hits/misses
+//	GET    /admin/integrity               scrub checkpoints and telemetry, per-file verdicts
 //
 // With -telemetry DIR every executed job also persists its run events
 // (rank timelines, step and DLB-migration markers, scheduler admission)
@@ -78,6 +79,8 @@ func main() {
 	maxRuns := flag.Int("telemetry-max-runs", 0, "retain at most N telemetry runs, pruning the oldest whose jobs hold no checkpoints (0 = keep all)")
 	ckptDir := flag.String("checkpoint", "", "job manifests and simulation checkpoints directory: jobs survive restarts and resume mid-run (empty = off)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint capture period in simulation steps (0 = default 25)")
+	ckptKeep := flag.Int("checkpoint-keep", 0, "snapshot generations retained per run; resume falls back past corrupt ones (0 = default 2)")
+	tverify := flag.Bool("telemetry-verify", false, "verify chunk checksums on every telemetry read; corrupt chunks surface as errors instead of bad rows")
 	watchdog := flag.Duration("watchdog", 0, "per-operation stall bound for simulation exchanges; stalled ranks fail fast with a typed error (0 = off)")
 	retries := flag.Int("retries", 0, "retry a job's transient failures (stalls, injected faults) up to N times with capped exponential backoff")
 	deadline := flag.Duration("deadline", 0, "default per-job deadline for jobs that send no deadlineMs (0 = unbounded)")
@@ -102,7 +105,8 @@ func main() {
 		fail(fmt.Errorf("ttl must be positive, got %v", *ttl))
 	}
 	for name, v := range map[string]int{
-		"telemetry-max-runs": *maxRuns, "checkpoint-every": *ckptEvery, "retries": *retries,
+		"telemetry-max-runs": *maxRuns, "checkpoint-every": *ckptEvery,
+		"checkpoint-keep": *ckptKeep, "retries": *retries,
 	} {
 		if err := scenario.CheckNonNegative(name, v); err != nil {
 			fail(err)
@@ -114,7 +118,11 @@ func main() {
 
 	var tstore *telemetry.Store
 	if *telemetryDir != "" {
-		st, err := telemetry.OpenDir(*telemetryDir)
+		var opts []telemetry.Option
+		if *tverify {
+			opts = append(opts, telemetry.WithVerifyOnRead())
+		}
+		st, err := telemetry.OpenDir(*telemetryDir, opts...)
 		if err != nil {
 			fail(err)
 		}
@@ -134,6 +142,7 @@ func main() {
 		DefaultDeadline:  *deadline,
 		CheckpointDir:    *ckptDir,
 		CheckpointEvery:  *ckptEvery,
+		CheckpointKeep:   *ckptKeep,
 		Watchdog:         *watchdog,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "respirad: "+format+"\n", args...)

@@ -4,36 +4,62 @@
 // resume and finish byte-identical to an uninterrupted one (the repo's
 // standing determinism contract).
 //
-// A snapshot is a single binary file written atomically: the encoder
-// writes <path>.tmp and renames it over <path>, so a reader only ever
-// observes a complete snapshot (the same invariant the telemetry store
-// relies on for its meta files). The format is versioned and carries a
-// config fingerprint; Load rejects files whose version or fingerprint
-// does not match, which callers treat as "no checkpoint" and start
-// fresh.
+// A snapshot is a single binary file written atomically and durably:
+// the encoder writes <path>.tmp, fsyncs it, renames it over <path>, and
+// fsyncs the parent directory, so a reader only ever observes a
+// complete snapshot that survives power loss. The format is versioned
+// and checksummed: v2 appends a CRC32C after the header section and
+// after each rank section, so a flipped bit anywhere in the file is
+// reported as a typed *ErrCorrupt naming the section and offset rather
+// than silently decoding garbage. v1 files (pre-checksum) still load,
+// marked Legacy, since nothing in them can be verified.
 package checkpoint
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"os"
+
+	"repro/internal/fsutil"
 )
 
-// Format constants. The magic and version gate decoding; the footer
-// detects truncation of a file that was not atomically renamed into
-// place (it should never happen, but a cheap guard beats a confusing
-// mid-buffer decode error).
+// Format constants. The magic gates decoding; the footer detects
+// truncation of a file that was not atomically renamed into place; the
+// per-section CRC32C words (v2) catch everything subtler.
 const (
 	magic   = "RSPCKPT1"
 	footer  = "END!"
-	version = 1
+	version = 2
 )
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrMismatch reports a checkpoint whose fingerprint does not match the
 // run configuration attempting to resume from it.
 var ErrMismatch = errors.New("checkpoint: config fingerprint mismatch")
+
+// ErrCorrupt reports a checkpoint file that failed structural or
+// checksum validation. Every Decode failure is an *ErrCorrupt — a
+// corrupt length field, a truncated buffer, and a CRC mismatch all
+// surface the same way, so callers (the generation-chain walk, the
+// integrity scrubber) branch on one type instead of string matching.
+type ErrCorrupt struct {
+	Path    string // file path when known (filled in by Load)
+	Section string // "magic", "footer", "version", "header", "rank N"
+	Offset  int64  // byte offset where the problem surfaced
+	Detail  string
+}
+
+func (e *ErrCorrupt) Error() string {
+	loc := e.Section
+	if e.Path != "" {
+		loc = e.Path + ": " + loc
+	}
+	return fmt.Sprintf("checkpoint: corrupt %s at offset %d: %s", loc, e.Offset, e.Detail)
+}
 
 // SolverState is one rank's Navier-Stokes state at a step boundary.
 // Uold is deliberately absent: Step overwrites it from U before reading
@@ -82,6 +108,10 @@ type Snapshot struct {
 	SimTime     float64
 	StepClocks  []float64 // rank 0's per-step virtual clocks, if recorded
 	Ranks       []RankState
+
+	// Legacy marks a snapshot decoded from a v1 (pre-checksum) file:
+	// it loaded structurally but nothing in it could be verified.
+	Legacy bool
 }
 
 // New creates an empty snapshot with slots for the given rank count.
@@ -129,17 +159,26 @@ func (e *enc) u8s(v []uint8) {
 	e.buf = append(e.buf, v...)
 }
 
-// Encode renders the snapshot into its binary form.
+// crc seals the section that started at byte offset start by appending
+// the CRC32C of everything written since.
+func (e *enc) crc(start int) {
+	e.u32(crc32.Checksum(e.buf[start:], castagnoli))
+}
+
+// Encode renders the snapshot into its binary form (always v2).
 func (s *Snapshot) Encode() []byte {
 	e := &enc{buf: make([]byte, 0, 1<<16)}
 	e.buf = append(e.buf, magic...)
 	e.u32(version)
+	start := len(e.buf)
 	e.str(s.Fingerprint)
 	e.i64(s.Step)
 	e.f64(s.SimTime)
 	e.f64s(s.StepClocks)
 	e.u32(uint32(len(s.Ranks)))
+	e.crc(start)
 	for i := range s.Ranks {
+		start = len(e.buf)
 		r := &s.Ranks[i]
 		var flags uint8
 		if r.HasSolver {
@@ -174,6 +213,7 @@ func (s *Snapshot) Encode() []byte {
 		e.u8s(r.Trace.Phases)
 		e.f64s(r.Trace.Starts)
 		e.f64s(r.Trace.Ends)
+		e.crc(start)
 	}
 	e.buf = append(e.buf, footer...)
 	return e.buf
@@ -182,14 +222,15 @@ func (s *Snapshot) Encode() []byte {
 // --- decoding ---
 
 type dec struct {
-	buf []byte
-	off int
-	err error
+	buf     []byte
+	off     int
+	section string
+	err     error
 }
 
 func (d *dec) fail() {
 	if d.err == nil {
-		d.err = fmt.Errorf("checkpoint: truncated at offset %d", d.off)
+		d.err = &ErrCorrupt{Section: d.section, Offset: int64(d.off), Detail: "truncated"}
 	}
 }
 
@@ -303,29 +344,63 @@ func (d *dec) u8s() []uint8 {
 	return v
 }
 
-// Decode parses a snapshot from its binary form.
+// checksum verifies the CRC32C word sealing the section that started
+// at byte offset start (v2 files only).
+func (d *dec) checksum(start int) {
+	if d.err != nil {
+		return
+	}
+	end := d.off
+	want := d.u32()
+	if d.err != nil {
+		return
+	}
+	if got := crc32.Checksum(d.buf[start:end], castagnoli); got != want {
+		d.err = &ErrCorrupt{
+			Section: d.section,
+			Offset:  int64(start),
+			Detail:  fmt.Sprintf("crc mismatch: stored %08x, computed %08x", want, got),
+		}
+	}
+}
+
+// Decode parses a snapshot from its binary form. It accepts the current
+// v2 (checksummed) layout and the legacy v1 layout, marking the latter
+// with Snapshot.Legacy. Any failure — bad magic, truncation, a clamped
+// length field, a CRC mismatch — returns an *ErrCorrupt; Decode never
+// panics on arbitrary input.
 func Decode(data []byte) (*Snapshot, error) {
 	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
-		return nil, errors.New("checkpoint: bad magic")
+		return nil, &ErrCorrupt{Section: "magic", Detail: "bad magic"}
 	}
-	if len(data) < len(magic)+len(footer) || string(data[len(data)-len(footer):]) != footer {
-		return nil, errors.New("checkpoint: missing footer (truncated write)")
+	if len(data) < len(magic)+4+len(footer) || string(data[len(data)-len(footer):]) != footer {
+		return nil, &ErrCorrupt{Section: "footer", Offset: int64(len(data)), Detail: "missing footer (truncated write)"}
 	}
-	d := &dec{buf: data[:len(data)-len(footer)], off: len(magic)}
-	if v := d.u32(); v != version {
-		return nil, fmt.Errorf("checkpoint: unsupported version %d", v)
+	d := &dec{buf: data[:len(data)-len(footer)], off: len(magic), section: "header"}
+	v := d.u32()
+	switch v {
+	case 1, version:
+	default:
+		return nil, &ErrCorrupt{Section: "version", Offset: int64(len(magic)), Detail: fmt.Sprintf("unsupported version %d", v)}
 	}
-	s := &Snapshot{}
+	withCRC := v == version
+	s := &Snapshot{Legacy: v == 1}
+	start := d.off
 	s.Fingerprint = d.str()
 	s.Step = d.i64()
 	s.SimTime = d.f64()
 	s.StepClocks = d.f64s()
 	nr := d.length(1)
+	if withCRC {
+		d.checksum(start)
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
 	s.Ranks = make([]RankState, nr)
 	for i := range s.Ranks {
+		d.section = fmt.Sprintf("rank %d", i)
+		start = d.off
 		r := &s.Ranks[i]
 		flags := d.u8()
 		r.HasSolver = flags&1 != 0
@@ -355,6 +430,12 @@ func Decode(data []byte) (*Snapshot, error) {
 		r.Trace.Phases = d.u8s()
 		r.Trace.Starts = d.f64s()
 		r.Trace.Ends = d.f64s()
+		if withCRC {
+			d.checksum(start)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
 	}
 	if d.err != nil {
 		return nil, d.err
@@ -362,47 +443,34 @@ func Decode(data []byte) (*Snapshot, error) {
 	return s, nil
 }
 
-// Save writes the snapshot atomically: encode into <path>.tmp, fsync,
-// rename over <path>. A reader (or a resuming process) therefore only
-// ever sees a complete snapshot; a crash mid-write leaves at worst a
-// stale .tmp next to the previous good checkpoint.
+// Save writes the snapshot atomically and durably: encode into
+// <path>.tmp, fsync, rename over <path>, fsync the parent directory. A
+// reader (or a resuming process) therefore only ever sees a complete
+// snapshot, and the rename survives a crash.
 func (s *Snapshot) Save(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(s.Encode()); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return fsutil.WriteFileAtomic(path, s.Encode(), 0o644)
 }
 
-// Load reads and decodes the snapshot at path.
+// Load reads and decodes the snapshot at path. Corruption errors carry
+// the path.
 func Load(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return Decode(data)
+	s, err := Decode(data)
+	var ce *ErrCorrupt
+	if errors.As(err, &ce) {
+		ce.Path = path
+	}
+	return s, err
 }
 
 // LoadMatching loads the snapshot at path if it exists and carries the
 // given fingerprint. A missing file returns (nil, nil) — no checkpoint,
-// start fresh. A fingerprint or version mismatch returns ErrMismatch
-// (wrapped); callers normally also treat that as "start fresh", logging
-// it, since it means the configuration changed under the checkpoint.
+// start fresh. A fingerprint mismatch returns ErrMismatch (wrapped);
+// callers normally also treat that as "start fresh", logging it, since
+// it means the configuration changed under the checkpoint.
 func LoadMatching(path, fingerprint string) (*Snapshot, error) {
 	s, err := Load(path)
 	if err != nil {

@@ -65,17 +65,12 @@ func (cfg *RunConfig) prepCheckpoint(m *mesh.Mesh, size int) (resume, snap *chec
 	}
 	fp := cfg.fingerprint(m)
 	if ck.Resume {
-		s, err := checkpoint.LoadMatching(ck.Path, fp)
-		if err != nil {
-			ck.Report(err)
-		}
-		if s != nil {
-			if len(s.Ranks) == size {
-				resume = s
-				startStep = int(s.Step) + 1
-			} else {
-				ck.Report(fmt.Errorf("coupling: checkpoint has %d ranks, run has %d", len(s.Ranks), size))
-			}
+		// Walk the generation chain newest-first: corrupt generations are
+		// quarantined and skipped, so a flipped bit in the newest snapshot
+		// costs one checkpoint interval instead of the whole run.
+		if s := ck.LoadResume(fp, size); s != nil {
+			resume = s
+			startStep = int(s.Step) + 1
 		}
 	}
 	if ck.Every > 0 {
@@ -105,7 +100,7 @@ func (s *ckptSaver) save(step int, stepClocks []float64) {
 	s.snap.Step = int64(step)
 	s.snap.SimTime = s.cfg.simTimeAt(step)
 	s.snap.StepClocks = append(s.snap.StepClocks[:0], stepClocks...)
-	s.plan.Report(s.snap.Save(s.plan.Path))
+	s.plan.Report(s.plan.Write(s.snap))
 }
 
 // captureRank fills snap.Ranks[id] from the rank's live state; ns and tk

@@ -1,0 +1,81 @@
+// Package fsutil holds the durability primitives the persistent-state
+// packages (checkpoint, telemetry) share: parent-directory fsync after
+// atomic renames, and the full tmp+fsync+rename+dirsync atomic write.
+//
+// POSIX only guarantees a rename is durable once the containing
+// directory has been fsynced; without it a crash shortly after the
+// rename can resurrect the old file — or neither file. Every atomic
+// rename in this repository therefore goes through this package.
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// SyncDir fsyncs the directory containing path-level changes (renames,
+// creates, removes) so they survive a power failure. Filesystems that
+// do not support fsync on directories make this a no-op rather than an
+// error — durability is then the platform's best effort, which is all
+// it offered before.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		// EINVAL/ENOTSUP from fsync on a directory handle: the platform
+		// cannot do better. Propagating it would fail writes that in
+		// fact succeeded.
+		return nil
+	}
+	return cerr
+}
+
+// WriteFileAtomic writes data to path atomically and durably: write to
+// path+".tmp", fsync the file, rename it over path, and fsync the
+// parent directory. A reader never observes a partial file; a crash at
+// any point leaves either the previous content or the new one.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncFile fsyncs an existing file's contents (used when sealing an
+// append-mode file whose writes went through a different descriptor).
+func SyncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,125 @@
+package integrity
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/telemetry"
+)
+
+// writeSnapshot saves a minimal valid v2 checkpoint at path.
+func writeSnapshot(t *testing.T, path string) {
+	t.Helper()
+	s := checkpoint.New("cfg", 1)
+	s.Step = 3
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanCheckpointDirVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, filepath.Join(dir, "good.ckpt"))
+	writeSnapshot(t, filepath.Join(dir, "good.ckpt.1")) // generation file
+
+	bad := filepath.Join(dir, "bad.ckpt")
+	writeSnapshot(t, bad)
+	data, err := os.ReadFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[15] ^= 0xff
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "old.ckpt.corrupt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-checkpoint files and atomic-write droppings are invisible.
+	for _, name := range []string{"job-1.job.json", "half.ckpt.tmp", "README"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	vs, err := ScanCheckpointDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"good.ckpt":        "ok",
+		"good.ckpt.1":      "ok",
+		"bad.ckpt":         "corrupt",
+		"old.ckpt.corrupt": "quarantined",
+	}
+	if len(vs) != len(want) {
+		t.Fatalf("%d verdicts %+v, want %d", len(vs), vs, len(want))
+	}
+	for _, v := range vs {
+		if v.Kind != "checkpoint" || want[v.File] != v.Status {
+			t.Fatalf("verdict %+v, want status %q", v, want[v.File])
+		}
+	}
+	if !AnyBad(vs) {
+		t.Fatal("corrupt + quarantined scan reported clean")
+	}
+}
+
+func TestScanCheckpointDirMissing(t *testing.T) {
+	vs, err := ScanCheckpointDir(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || vs != nil {
+		t.Fatalf("missing dir: %v, %v", vs, err)
+	}
+}
+
+func TestScanDirCombined(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, filepath.Join(dir, "job.ckpt"))
+
+	st, err := telemetry.OpenDir(dir, telemetry.WithChunkRows(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.BeginRun(telemetry.RunMeta{Run: "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		w.Append(telemetry.Row{Rank: int32(i), Kind: telemetry.KindStep})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	vs, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, v := range vs {
+		kinds[v.Kind]++
+		if v.Status != "ok" {
+			t.Fatalf("clean state verdict %+v", v)
+		}
+	}
+	if kinds["checkpoint"] != 1 || kinds["telemetry"] != 1 {
+		t.Fatalf("kinds %v, want one checkpoint and one telemetry", kinds)
+	}
+	if AnyBad(vs) {
+		t.Fatal("clean scan reported bad")
+	}
+}
+
+func TestScanTelemetryDirDoesNotCreateDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "absent")
+	vs, err := ScanTelemetryDir(dir)
+	if err != nil || vs != nil {
+		t.Fatalf("missing dir: %v, %v", vs, err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("scrub created the directory: %v", err)
+	}
+}

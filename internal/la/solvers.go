@@ -50,6 +50,19 @@ type SolveStats struct {
 // ErrBreakdown is returned when a Krylov recurrence hits a zero pivot.
 var ErrBreakdown = errors.New("la: krylov breakdown")
 
+// ErrNonFinite is returned when a solver's residual goes NaN or Inf —
+// the iterate has blown up and every further operation only launders
+// garbage. The check reuses the residual norm each iteration already
+// computes, so healthy solves pay two float comparisons and allocate
+// nothing.
+var ErrNonFinite = errors.New("la: non-finite residual")
+
+// nonFinite reports NaN or ±Inf. (x != x) catches NaN; the abs compare
+// catches Inf without allocating.
+func nonFinite(x float64) bool {
+	return x != x || math.IsInf(x, 0)
+}
+
 // JacobiPreconditioner returns a preconditioner closure z = D^{-1} r for
 // the given diagonal; zero diagonal entries pass through unscaled.
 func JacobiPreconditioner(diag []float64) func(r, z []float64) {
@@ -119,6 +132,9 @@ func PCGWithWorkspace(ops Ops, precond func(r, z []float64), b, x []float64, tol
 	for k := 0; k < maxIter; k++ {
 		rnorm := math.Sqrt(ops.Dot(r, r))
 		stats.Residual = rnorm / bnorm
+		if nonFinite(stats.Residual) {
+			return stats, ErrNonFinite
+		}
 		if stats.Residual <= tol {
 			stats.Converged = true
 			return stats, nil
@@ -140,6 +156,9 @@ func PCGWithWorkspace(ops Ops, precond func(r, z []float64), b, x []float64, tol
 	}
 	rnorm := math.Sqrt(ops.Dot(r, r))
 	stats.Residual = rnorm / bnorm
+	if nonFinite(stats.Residual) {
+		return stats, ErrNonFinite
+	}
 	stats.Converged = stats.Residual <= tol
 	return stats, nil
 }
@@ -176,6 +195,9 @@ func BiCGSTABWithWorkspace(ops Ops, precond func(r, z []float64), b, x []float64
 	for k := 0; k < maxIter; k++ {
 		rnorm := math.Sqrt(ops.Dot(r, r))
 		stats.Residual = rnorm / bnorm
+		if nonFinite(stats.Residual) {
+			return stats, ErrNonFinite
+		}
 		if stats.Residual <= tol {
 			stats.Converged = true
 			return stats, nil
@@ -202,6 +224,10 @@ func BiCGSTABWithWorkspace(ops Ops, precond func(r, z []float64), b, x []float64
 		ws.alpha = alpha
 		ops.Vec.Range(n, ws.bicgS)
 		snorm := math.Sqrt(ops.Dot(s, s))
+		if nonFinite(snorm) {
+			stats.Residual = snorm / bnorm
+			return stats, ErrNonFinite
+		}
 		if snorm/bnorm <= tol {
 			ops.Vec.Axpy(alpha, phat, x)
 			stats.Iterations = k + 1
@@ -226,6 +252,9 @@ func BiCGSTABWithWorkspace(ops Ops, precond func(r, z []float64), b, x []float64
 	}
 	rnorm := math.Sqrt(ops.Dot(r, r))
 	stats.Residual = rnorm / bnorm
+	if nonFinite(stats.Residual) {
+		return stats, ErrNonFinite
+	}
 	stats.Converged = stats.Residual <= tol
 	return stats, nil
 }

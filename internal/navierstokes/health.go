@@ -1,0 +1,58 @@
+package navierstokes
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// DefaultMaxResidual is the divergence threshold MaxResidual == 0
+// selects. A healthy fractional step keeps relative residuals near the
+// solver tolerance; 1e6 is far above any converging run and far below
+// overflow, so the guard trips on genuine blow-up only.
+const DefaultMaxResidual = 1e6
+
+// ErrDiverged reports numerical blow-up in a solver step: a NaN/Inf
+// residual, or (with Config.HealthCheck) a residual past the divergence
+// threshold. It is deterministic for a given scenario — retrying the
+// run reproduces it — so the service fails such jobs fast instead of
+// burning retry budget.
+type ErrDiverged struct {
+	Rank     int    // MPI rank that observed the blow-up
+	Step     int64  // zero-based step being computed
+	Phase    string // "momentum" or "pressure"
+	Residual float64
+}
+
+func (e *ErrDiverged) Error() string {
+	return fmt.Sprintf("navierstokes: diverged at rank %d step %d (%s solve, residual %g)", e.Rank, e.Step, e.Phase, e.Residual)
+}
+
+// checkHealth classifies one linear solve's outcome. A non-finite
+// residual (la.ErrNonFinite) is always a divergence; a finite residual
+// past the threshold is one only when the guard is enabled. Healthy
+// steps cost two comparisons and allocate nothing.
+func (s *Solver) checkHealth(phase string, err error, residual float64) error {
+	if errors.Is(err, la.ErrNonFinite) {
+		return s.diverged(phase, residual)
+	}
+	if s.Cfg.HealthCheck {
+		max := s.Cfg.MaxResidual
+		if max == 0 {
+			max = DefaultMaxResidual
+		}
+		if residual > max {
+			return s.diverged(phase, residual)
+		}
+	}
+	return nil
+}
+
+func (s *Solver) diverged(phase string, residual float64) error {
+	rank := 0
+	if s.Comm != nil {
+		rank = s.Comm.Rank()
+	}
+	return &ErrDiverged{Rank: rank, Step: int64(s.stepIndex), Phase: phase, Residual: residual}
+}

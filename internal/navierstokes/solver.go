@@ -53,6 +53,18 @@ type Config struct {
 
 	TolMomentum, TolPressure         float64
 	MaxIterMomentum, MaxIterPressure int
+
+	// HealthCheck enables the per-step residual-divergence guard: a
+	// momentum or pressure residual above MaxResidual fails the step
+	// with *ErrDiverged instead of marching a blown-up field. NaN/Inf
+	// residuals fail the step regardless (they are unconditionally
+	// garbage). Off by default — the guard reuses already-computed
+	// norms and allocates nothing, but stays opt-in so default runs
+	// are bit-for-bit the pre-guard binary.
+	HealthCheck bool
+	// MaxResidual is the relative-residual divergence threshold when
+	// HealthCheck is set; 0 means DefaultMaxResidual.
+	MaxResidual float64
 }
 
 // DefaultConfig returns production-like settings: multidependences

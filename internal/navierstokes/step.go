@@ -263,6 +263,9 @@ func (s *Solver) Step() (StepStats, error) {
 	totalIters := 0
 	for c := 0; c < 3; c++ {
 		st, err := la.BiCGSTABWithWorkspace(s.opsA, s.momPrecond, s.rhs[c], s.U[c], s.Cfg.TolMomentum, s.Cfg.MaxIterMomentum, s.ws)
+		if herr := s.checkHealth("momentum", err, st.Residual); herr != nil {
+			return stats, herr
+		}
 		if err != nil && err != la.ErrBreakdown {
 			return stats, fmt.Errorf("navierstokes: momentum solve: %w", err)
 		}
@@ -278,6 +281,9 @@ func (s *Solver) Step() (StepStats, error) {
 	// L is constant, so its preconditioner was built once in NewSolver.
 	s.assemblePressureRHS()
 	pst, err := la.PCGWithWorkspace(s.opsL, s.lPrecond, s.prhs, s.P, s.Cfg.TolPressure, s.Cfg.MaxIterPressure, s.ws)
+	if herr := s.checkHealth("pressure", err, pst.Residual); herr != nil {
+		return stats, herr
+	}
 	if err != nil && err != la.ErrBreakdown {
 		return stats, fmt.Errorf("navierstokes: pressure solve: %w", err)
 	}

@@ -19,6 +19,8 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/coupling"
+	"repro/internal/la"
+	"repro/internal/navierstokes"
 	"repro/internal/telemetry"
 	"repro/scenario"
 )
@@ -45,12 +47,32 @@ func (p retryPolicy) delay(n int) time.Duration {
 	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
+// permanentClass classifies an error that retrying cannot fix: the
+// same scenario deterministically reproduces it, so another attempt
+// only burns retry budget and backoff time. Returns "" for everything
+// else (stalls, injected faults, I/O — the retryable world).
+func permanentClass(err error) string {
+	var div *navierstokes.ErrDiverged
+	switch {
+	case errors.As(err, &div):
+		return "diverged"
+	case errors.Is(err, la.ErrBreakdown):
+		return "breakdown"
+	case errors.Is(err, scenario.ErrBadParams):
+		return "bad-params"
+	}
+	return ""
+}
+
 // retryable reports whether a failed attempt is worth repeating. A
-// cancelled or deadline-expired job is done deciding; everything else —
-// rank stalls, injected faults, transient scheduler overflow — may
-// succeed on a fresh attempt.
+// cancelled or deadline-expired job is done deciding, and a permanent
+// failure (numerical divergence, Krylov breakdown, bad parameters)
+// reproduces deterministically; everything else — rank stalls, injected
+// faults, transient scheduler overflow — may succeed on a fresh
+// attempt.
 func retryable(err error) bool {
-	return err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	return err != nil && !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) && permanentClass(err) == ""
 }
 
 // lead is the single-flight leader's body: run the scenario, retrying
@@ -118,7 +140,7 @@ func (s *Server) attemptOnce(ctx context.Context, job *Job, sc scenario.Scenario
 		// <job>.ckpt, so run k of this attempt resumes exactly the file
 		// run k of the previous attempt was writing.
 		prov := &checkpoint.DirProvider{
-			Dir: s.ckptDir, Base: job.id, Every: s.ckptEvery,
+			Dir: s.ckptDir, Base: job.id, Every: s.ckptEvery, Keep: s.ckptKeep,
 			OnError: func(err error) { s.logf("job %s: checkpoint: %v", job.id, err) },
 		}
 		ctx = checkpoint.ContextWithProvider(ctx, prov)
@@ -227,22 +249,39 @@ func (s *Server) cleanupJob(job *Job) {
 	}
 }
 
-// checkpointFiles lists the job's checkpoint files, matching exactly
-// the DirProvider naming (<id>.ckpt, <id>.2.ckpt, ...).
+// checkpointFiles lists the job's checkpoint files: the DirProvider
+// naming (<id>.ckpt, <id>.2.ckpt, ...) plus each file's generation
+// chain (<id>.ckpt.1, ...) and atomic-write droppings. Quarantined
+// *.corrupt files are excluded — they are operator evidence and outlive
+// the job (the integrity scrub reports them; an operator deletes them).
 func (s *Server) checkpointFiles(id string) []string {
-	first, _ := filepath.Glob(filepath.Join(s.ckptDir, id+".ckpt"))
-	rest, _ := filepath.Glob(filepath.Join(s.ckptDir, id+".*.ckpt"))
-	return append(first, rest...)
+	first, _ := filepath.Glob(filepath.Join(s.ckptDir, id+".ckpt*"))
+	rest, _ := filepath.Glob(filepath.Join(s.ckptDir, id+".*.ckpt*"))
+	all := append(first, rest...)
+	out := all[:0]
+	for _, f := range all {
+		if strings.HasSuffix(f, ".corrupt") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
-// HasCheckpoints reports whether any checkpoint file exists for the
-// job — the liveness test telemetry retention consults before deleting
-// a run (a run whose job can still resume must keep its telemetry).
+// HasCheckpoints reports whether any resumable checkpoint exists for
+// the job — the liveness test telemetry retention consults before
+// deleting a run (a run whose job can still resume must keep its
+// telemetry). Quarantined and half-written files do not count.
 func (s *Server) HasCheckpoints(jobID string) bool {
 	if s.ckptDir == "" {
 		return false
 	}
-	return len(s.checkpointFiles(jobID)) > 0
+	for _, f := range s.checkpointFiles(jobID) {
+		if !strings.HasSuffix(f, ".tmp") {
+			return true
+		}
+	}
+	return false
 }
 
 // Recover scans the checkpoint directory for manifests of jobs that

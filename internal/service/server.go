@@ -73,6 +73,12 @@ type Config struct {
 	// CheckpointEvery is the capture period in simulation steps for
 	// jobs run with CheckpointDir set (default 25).
 	CheckpointEvery int
+	// CheckpointKeep is how many snapshot generations each run retains
+	// (<id>.ckpt, <id>.ckpt.1, ...). Resume walks the chain newest-first
+	// past corrupt generations, quarantining them as *.corrupt, so a
+	// flipped bit in the newest snapshot costs one checkpoint interval
+	// instead of the whole run. Default 2; 1 keeps only the newest.
+	CheckpointKeep int
 	// Watchdog bounds every blocking MPI operation of every job's
 	// simulations; a stalled rank surfaces as a typed error the retry
 	// loop acts on, instead of a hung job. 0 disables.
@@ -179,10 +185,12 @@ type Server struct {
 	deadline  time.Duration
 	ckptDir   string
 	ckptEvery int
+	ckptKeep  int
 	watchdog  time.Duration
 
 	draining atomic.Bool
 	retrying atomic.Int32 // jobs currently backing off
+	permFail permFailures // last-N permanent failures, for /stats
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -213,6 +221,9 @@ func New(cfg Config) *Server {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 25
 	}
+	if cfg.CheckpointKeep <= 0 {
+		cfg.CheckpointKeep = 2
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -229,6 +240,7 @@ func New(cfg Config) *Server {
 		deadline:  cfg.DefaultDeadline,
 		ckptDir:   cfg.CheckpointDir,
 		ckptEvery: cfg.CheckpointEvery,
+		ckptKeep:  cfg.CheckpointKeep,
 		watchdog:  cfg.Watchdog,
 		jobs:      make(map[string]*Job),
 	}
@@ -262,6 +274,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /telemetry/runs/{run}", s.handleTelemetryRun)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /admin/integrity", s.handleIntegrity)
 	return mux
 }
 
@@ -573,6 +586,9 @@ func (s *Server) run(ctx context.Context, job *Job, sc scenario.Scenario, ticket
 		return s.lead(ctx, job, sc, ticket)
 	})
 	job.finish(art, err)
+	if err != nil {
+		s.notePermanentFailure(job, err)
+	}
 	s.cleanupJob(job)
 	s.pruneTelemetry()
 	s.logf("job %s: %s", job.id, job.snapshot(false).State)

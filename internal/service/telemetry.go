@@ -210,6 +210,11 @@ type statsJSON struct {
 	Cache     cacheStatsJSON `json:"cache"`
 	Jobs      map[string]int `json:"jobs"`
 	Runs      int            `json:"runs,omitempty"`
+	// PermanentFailures distinguishes "retrying a transient fault"
+	// (healthz degraded, will recover) from "scenarios
+	// deterministically diverging" (inputs are wrong; rerouting to
+	// another instance will not help).
+	PermanentFailures permFailuresJSON `json:"permanentFailures"`
 }
 
 type schedStatsJSON struct {
@@ -234,8 +239,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Capacity: st.Capacity, UsedCost: st.UsedCost,
 			Running: st.Running, Queued: st.Queued, Waiting: st.Waiting,
 		},
-		Cache: cacheStatsJSON{Hits: hits, Misses: misses, Entries: s.cache.Len()},
-		Jobs:  make(map[string]int),
+		Cache:             cacheStatsJSON{Hits: hits, Misses: misses, Entries: s.cache.Len()},
+		Jobs:              make(map[string]int),
+		PermanentFailures: s.permFail.snapshot(),
 	}
 	s.mu.Lock()
 	for _, j := range s.jobs {

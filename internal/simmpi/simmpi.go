@@ -142,6 +142,11 @@ func (w *World) Run(body func(r *Rank)) error {
 						errs[rank] = e
 					case *FaultError:
 						errs[rank] = e
+					case error:
+						// Rank bodies panic(err) on step failures; wrap so
+						// typed causes (la.ErrBreakdown, *ErrDiverged, ...)
+						// stay reachable through errors.Is/As.
+						errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %w", rank, e)
 					default:
 						errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, p)
 					}

@@ -1,6 +1,8 @@
 package simmpi
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -371,5 +373,23 @@ func TestManyRanksStress(t *testing.T) {
 	}
 	if total != 96 {
 		t.Fatalf("only %d ranks completed", total)
+	}
+}
+
+// errSentinel is a typed error a rank body panics with; the World.Run
+// recovery must wrap it with %w so errors.Is still reaches it — the
+// path numerical-health errors take from a rank body to the service's
+// retry classifier.
+var errSentinel = errors.New("typed step failure")
+
+func TestRunWrapsTypedErrorPanic(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			panic(fmt.Errorf("step 3: %w", errSentinel))
+		}
+	})
+	if !errors.Is(err, errSentinel) {
+		t.Fatalf("err = %v; typed cause lost through the panic boundary", err)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/fsutil"
 )
 
 // chunkStat is one chunk's directory-listing entry.
@@ -25,6 +27,10 @@ type backend interface {
 	listChunks(run string) ([]chunkStat, error)
 	readChunk(run, name string) ([]byte, error)
 	appendChunk(run, name string, data []byte) error
+	// sealChunk makes a finished chunk durable (fsync file and parent
+	// directory where that means something). Called after the seal
+	// footer is appended; the chunk is immutable from then on.
+	sealChunk(run, name string) error
 	writeMeta(run string, data []byte) error
 	readMeta(run string) ([]byte, error)
 	// deleteRun removes the run's metadata and every chunk. Deleting a
@@ -113,12 +119,20 @@ func (b *fileBackend) appendChunk(run, name string, data []byte) error {
 	return cerr
 }
 
+func (b *fileBackend) sealChunk(run, name string) error {
+	path := filepath.Join(b.dir, run, name)
+	if err := fsutil.SyncFile(path); err != nil {
+		return err
+	}
+	return fsutil.SyncDir(filepath.Join(b.dir, run))
+}
+
 func (b *fileBackend) writeMeta(run string, data []byte) error {
 	dir := filepath.Join(b.dir, run)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, metaFile), data, 0o644)
+	return fsutil.WriteFileAtomic(filepath.Join(dir, metaFile), data, 0o644)
 }
 
 func (b *fileBackend) readMeta(run string) ([]byte, error) {
@@ -209,6 +223,8 @@ func (b *memBackend) appendChunk(run, name string, data []byte) error {
 	r.chunks[name] = append(r.chunks[name], data...)
 	return nil
 }
+
+func (b *memBackend) sealChunk(run, name string) error { return nil }
 
 func (b *memBackend) writeMeta(run string, data []byte) error {
 	b.mu.Lock()

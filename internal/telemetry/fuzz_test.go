@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzChunkDecode asserts the chunk readers' arbitrary-input contract:
+// checkChunk and the row decode loop never panic or over-allocate on
+// any byte slice — every length they trust derives from len(data).
+func FuzzChunkDecode(f *testing.F) {
+	row := make([]byte, RowSize)
+	Row{Rank: 3, Step: 7, Kind: KindPhase, Start: 1, End: 2}.encode(row)
+	sealed := appendChunkFooter(append([]byte(nil), row...), crc32.Checksum(row, castagnoli), 1)
+	f.Add(sealed)
+	flipped := append([]byte(nil), sealed...)
+	flipped[5] ^= 0xff
+	f.Add(flipped)
+	f.Add(append([]byte(nil), row...)) // unsealed
+	f.Add([]byte(chunkFooterMagic))
+	f.Add(appendChunkFooter(nil, 0, 99)) // footer claiming rows it lacks
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sealed, err := checkChunk(data)
+		if err != nil {
+			if _, ok := err.(*ErrCorrupt); !ok {
+				t.Fatalf("checkChunk error is not *ErrCorrupt: %T %v", err, err)
+			}
+			if !sealed {
+				t.Fatal("checkChunk reported corruption on an unsealed chunk")
+			}
+		}
+		// Decode every whole row the chunk holds, exactly as Query and
+		// crash recovery do: floor(len/RowSize) rows, footer bytes and
+		// torn tails fall in the remainder.
+		for off := 0; off+RowSize <= len(data); off += RowSize {
+			_ = decodeRow(data[off : off+RowSize])
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSealedChunkFooterOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDir(dir, WithChunkRows(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.BeginRun(RunMeta{Run: "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendTimeline(t, w, 1, 6) // chunk 0 fills (4 rows), chunk 1 holds 2
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both the rotated-full chunk and the Close-sealed tail carry the
+	// 16-byte footer, and the footer verifies against the rows.
+	for chunk, rows := range map[int]int{0: 4, 1: 2} {
+		data, err := os.ReadFile(filepath.Join(dir, "r1", chunkName(chunk)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != rows*RowSize+chunkFooterSize {
+			t.Fatalf("chunk %d is %d bytes, want %d rows + footer", chunk, len(data), rows)
+		}
+		sealed, cerr := checkChunk(data)
+		if !sealed || cerr != nil {
+			t.Fatalf("chunk %d: sealed=%v err=%v", chunk, sealed, cerr)
+		}
+	}
+}
+
+func TestVerifyRunStatuses(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDir(dir, WithChunkRows(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.BeginRun(RunMeta{Run: "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendTimeline(t, w, 2, 6) // 12 rows: chunks of 4, 4, 4
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	vs, err := st.VerifyRun("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("%d verdicts, want 3", len(vs))
+	}
+	for _, v := range vs {
+		if v.Status != "ok" || v.Rows != 4 {
+			t.Fatalf("clean chunk verdict %+v", v)
+		}
+	}
+
+	// Flip one row byte in the middle chunk: exactly that chunk reports
+	// corrupt, the others stay ok.
+	path := filepath.Join(dir, "r1", chunkName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[17] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err = st.VerifyRun("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byChunk := map[string]ChunkVerdict{}
+	for _, v := range vs {
+		byChunk[v.Chunk] = v
+	}
+	if v := byChunk[chunkName(1)]; v.Status != "corrupt" || !strings.Contains(v.Detail, "crc mismatch") {
+		t.Fatalf("flipped chunk verdict %+v", v)
+	}
+	if v := byChunk[chunkName(0)]; v.Status != "ok" {
+		t.Fatalf("untouched chunk verdict %+v", v)
+	}
+}
+
+func TestVerifyRunUnsealedTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDir(dir, WithChunkRows(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.BeginRun(RunMeta{Run: "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendTimeline(t, w, 1, 3)
+	if err := w.Flush(); err != nil { // live writer: no seal yet
+		t.Fatal(err)
+	}
+	vs, err := st.VerifyRun("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Status != "unsealed" || vs[0].Rows != 3 {
+		t.Fatalf("live tail verdicts %+v", vs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if vs, err = st.VerifyRun("r1"); err != nil || vs[0].Status != "ok" {
+		t.Fatalf("after Close: %+v, %v", vs, err)
+	}
+}
+
+func TestVerifyOnReadQuery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDir(dir, WithChunkRows(4), WithVerifyOnRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.BeginRun(RunMeta{Run: "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendTimeline(t, w, 1, 4)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Query("r1", Query{}); err != nil {
+		t.Fatalf("clean sealed chunk rejected: %v", err)
+	}
+
+	path := filepath.Join(dir, "r1", chunkName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Query("r1", Query{})
+	var ce *ErrCorrupt
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ErrCorrupt, got %v", err)
+	}
+	if ce.Run != "r1" || ce.Chunk != chunkName(0) {
+		t.Fatalf("corruption location %+v", ce)
+	}
+
+	// Without verify-on-read the same store serves the flipped bytes —
+	// the mode is the difference, not the data.
+	st2, err := OpenDir(dir, WithChunkRows(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Query("r1", Query{}); err != nil {
+		t.Fatalf("unverified read failed: %v", err)
+	}
+}
+
+func TestVerifyOnReadServesUnsealedChunks(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDir(dir, WithChunkRows(8), WithVerifyOnRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.BeginRun(RunMeta{Run: "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendTimeline(t, w, 1, 3)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.Query("r1", Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows from live chunk, want 3", len(rows))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkSealedRejectsNonFooterSizes(t *testing.T) {
+	row := make([]byte, RowSize)
+	Row{Rank: 1, Kind: KindPhase, Phase: trace.PhaseMPI, Start: 0, End: 1}.encode(row)
+	cases := []struct {
+		name string
+		data []byte
+		want bool
+	}{
+		{"empty", nil, false},
+		{"bare rows", append([]byte(nil), row...), false},
+		{"torn row", row[:RowSize/2], false},
+		{"footer only", appendChunkFooter(nil, 0, 0), true},
+		{"sealed row", appendChunkFooter(append([]byte(nil), row...), 0, 1), true},
+		{"footer-sized junk", make([]byte, chunkFooterSize), false},
+	}
+	for _, tc := range cases {
+		if got := chunkSealed(tc.data); got != tc.want {
+			t.Errorf("%s: chunkSealed = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

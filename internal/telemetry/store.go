@@ -29,6 +29,15 @@ func WithChunkRows(n int) Option {
 	}
 }
 
+// WithVerifyOnRead makes every Query check sealed chunks' CRC32C
+// footers before decoding, failing with *ErrCorrupt instead of serving
+// rotted floats. Unsealed chunks (live or crashed writers) are served
+// unverified, as always. Off by default: the scrub endpoints verify on
+// demand without taxing every read.
+func WithVerifyOnRead() Option {
+	return func(s *Store) { s.verify = true }
+}
+
 // chunkInfo is the in-memory index entry of one chunk: enough to decide
 // whether a (time range, rank) query needs the chunk at all, and
 // whether binary search applies inside it.
@@ -62,6 +71,7 @@ type Store struct {
 	mu        sync.Mutex
 	be        backend
 	chunkRows int
+	verify    bool // check chunk CRC footers on every read
 	runs      map[string]*runState
 	seq       int // last auto-assigned run number
 }
@@ -294,6 +304,13 @@ func (s *Store) Query(run string, q Query) ([]Row, error) {
 		data, err := s.be.readChunk(run, ci.name)
 		if err != nil {
 			return nil, fmt.Errorf("telemetry: read chunk %s/%s: %w", run, ci.name, err)
+		}
+		if s.verify {
+			if _, cerr := checkChunk(data); cerr != nil {
+				ce := cerr.(*ErrCorrupt)
+				ce.Run, ce.Chunk = run, ci.name
+				return nil, ce
+			}
 		}
 		n := len(data) / RowSize
 		if n > ci.rows {

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"sync"
 )
 
@@ -28,6 +29,7 @@ type RunWriter struct {
 	buf     []byte // pending encoded rows of the current chunk
 	seq     int    // current chunk sequence number
 	flushed int    // rows of the current chunk already at the backend
+	crc     uint32 // running CRC32C of the current chunk's persisted rows
 	cur     chunkInfo
 	total   int
 	err     error
@@ -89,6 +91,7 @@ func (w *RunWriter) Close() error {
 		return w.err
 	}
 	w.flushLocked(false)
+	w.sealLocked() // a cleanly closed run's final chunk is verifiable too
 	w.closed = true
 
 	w.st.mu.Lock()
@@ -117,15 +120,38 @@ func (w *RunWriter) flushLocked(seal bool) {
 		if err := w.st.be.appendChunk(w.run, chunkName(w.seq), w.buf); err != nil {
 			w.err = fmt.Errorf("telemetry: append chunk %s/%s: %w", w.run, chunkName(w.seq), err)
 		} else {
+			w.crc = crc32.Update(w.crc, castagnoli, w.buf)
 			w.flushed += pending
 			w.publishLocked()
 		}
 	}
 	w.buf = w.buf[:0] // on error the rows are dropped; the error is latched
 	if seal && w.err == nil {
+		w.sealLocked()
 		w.seq++
 		w.flushed = 0
+		w.crc = 0
 		w.cur = newChunkInfo(chunkName(w.seq))
+	}
+}
+
+// sealLocked appends the CRC footer to the current chunk and makes it
+// durable, turning it verifiable for every future read. A chunk with no
+// persisted rows gets no footer (there is nothing to verify, and an
+// empty sealed chunk would be indistinguishable from a bare footer).
+// Called with w.mu held.
+func (w *RunWriter) sealLocked() {
+	if w.flushed == 0 || w.err != nil {
+		return
+	}
+	name := chunkName(w.seq)
+	foot := appendChunkFooter(make([]byte, 0, chunkFooterSize), w.crc, w.flushed)
+	if err := w.st.be.appendChunk(w.run, name, foot); err != nil {
+		w.err = fmt.Errorf("telemetry: seal chunk %s/%s: %w", w.run, name, err)
+		return
+	}
+	if err := w.st.be.sealChunk(w.run, name); err != nil {
+		w.err = fmt.Errorf("telemetry: seal chunk %s/%s: %w", w.run, name, err)
 	}
 }
 

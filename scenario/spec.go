@@ -1,12 +1,18 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/coupling"
 	"repro/internal/navierstokes"
 	"repro/internal/tasking"
 )
+
+// ErrBadParams marks a parameter-validation failure. It classifies the
+// error as permanent: resubmitting the same values can only fail the
+// same way, so the service fails such jobs fast instead of retrying.
+var ErrBadParams = errors.New("invalid parameters")
 
 // ParseMode resolves a CLI/API execution-mode name ("sync" or "coupled")
 // to a coupling.Mode. Unknown names are an error listing the vocabulary.
@@ -50,7 +56,7 @@ func ParseWaveform(s string) (navierstokes.Waveform, error) {
 // apply before any simulation work starts.
 func CheckPositive(name string, v int) error {
 	if v < 1 {
-		return fmt.Errorf("%s must be >= 1, got %d", name, v)
+		return fmt.Errorf("%w: %s must be >= 1, got %d", ErrBadParams, name, v)
 	}
 	return nil
 }
@@ -59,7 +65,7 @@ func CheckPositive(name string, v int) error {
 // (particles, ranks-per-node).
 func CheckNonNegative(name string, v int) error {
 	if v < 0 {
-		return fmt.Errorf("%s must be >= 0, got %d", name, v)
+		return fmt.Errorf("%w: %s must be >= 0, got %d", ErrBadParams, name, v)
 	}
 	return nil
 }
